@@ -1,0 +1,89 @@
+"""Ablations of CLITE's design choices (DESIGN.md's call-outs).
+
+Each row disables or swaps one Sec. 4 mechanism: the Matérn-5/2 kernel,
+the EI acquisition (vs PI and UCB), the informed bootstrap, dropout-copy,
+and constrained execution.  The bench prints each variant's outcome and
+asserts the full design is never dominated by the ablated ones on this
+representative mix.
+"""
+
+from dataclasses import replace
+
+from common import mean, save_report
+from repro.core import (
+    CLITEConfig,
+    ProbabilityOfImprovement,
+    RBF,
+    UpperConfidenceBound,
+)
+from repro.experiments import MixSpec, format_table, run_trial
+from repro.schedulers import CLITEPolicy
+from repro.server import NodeBudget
+
+MIX = MixSpec.of(
+    lc=[("img-dnn", 0.5), ("memcached", 0.5), ("masstree", 0.3)],
+    bg=["streamcluster"],
+)
+BUDGET = NodeBudget(90)
+BASE = CLITEConfig(seed=0)
+
+ABLATIONS = {
+    "full CLITE": BASE,
+    "RBF kernel": replace(BASE, kernel=RBF()),
+    "PI acquisition": replace(BASE, acquisition=ProbabilityOfImprovement()),
+    "UCB acquisition": replace(BASE, acquisition=UpperConfidenceBound()),
+    "random bootstrap": replace(BASE, informed_bootstrap=False),
+    "no dropout": replace(BASE, dropout_enabled=False),
+    "no constrained execution": replace(BASE, constrained_execution=False),
+    "no refinement": replace(BASE, refine_budget=0),
+}
+
+SEEDS = (0, 1, 2)
+
+
+def compute():
+    results = {}
+    for name, config in ABLATIONS.items():
+        perfs = []
+        qos = 0
+        for seed in SEEDS:
+            trial = run_trial(
+                MIX,
+                CLITEPolicy(config=replace(config, seed=seed)),
+                seed=seed,
+                budget=BUDGET,
+            )
+            qos += trial.qos_met
+            perfs.append(trial.mean_bg_performance if trial.qos_met else 0.0)
+        results[name] = (mean(perfs), qos / len(SEEDS))
+    return results
+
+
+def test_design_ablations(benchmark):
+    results = compute()
+    rows = [
+        [name, perf, rate] for name, (perf, rate) in results.items()
+    ]
+    report = format_table(["variant", "mean BG perf", "QoS rate"], rows)
+    save_report("ablations", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(MIX, CLITEPolicy(seed=9)),
+        kwargs={"seed": 9, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    full_perf, full_rate = results["full CLITE"]
+    # Shape 1: the full design always meets QoS on this mix.
+    assert full_rate == 1.0
+    # Shape 2: no ablation clearly dominates the full design (allowing
+    # noise-level wiggle); at least one mechanism matters materially.
+    for name, (perf, rate) in results.items():
+        assert full_perf >= perf - 0.06, name
+    assert any(
+        full_perf > perf + 0.03 or rate < 1.0
+        for name, (perf, rate) in results.items()
+        if name != "full CLITE"
+    )

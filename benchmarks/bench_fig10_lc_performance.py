@@ -1,0 +1,88 @@
+"""Fig. 10: mean LC performance (normalized to ORACLE) for three
+co-located LC jobs as the third job's load varies, no BG jobs."""
+
+from common import BUDGET, full_clite, genetic, mean, oracle, parties, rand_plus, save_report
+from repro.experiments import MixSpec, format_table, run_trial
+
+#: The paper's two mixes: (img-dnn, xapian, memcached) and
+#: (specjbb, masstree, xapian); the first two jobs stay at 10% load.
+MIXES = {
+    "img-dnn+xapian+memcached": ("memcached", MixSpec.of(
+        lc=[("img-dnn", 0.1), ("xapian", 0.1), ("memcached", 0.1)]
+    )),
+    "specjbb+masstree+xapian": ("xapian", MixSpec.of(
+        lc=[("specjbb", 0.1), ("masstree", 0.1), ("xapian", 0.1)]
+    )),
+}
+
+VARIED_LOADS = (0.3, 0.6, 0.9)
+
+POLICIES = (
+    ("CLITE", full_clite),
+    ("PARTIES", parties),
+    ("RAND+", rand_plus),
+    ("GENETIC", genetic),
+)
+
+
+def compute():
+    results = {}
+    for mix_name, (varied_job, base_mix) in MIXES.items():
+        for load in VARIED_LOADS:
+            mix = base_mix.with_lc_load(varied_job, load)
+            oracle_trial = run_trial(mix, oracle(0), seed=0, budget=BUDGET)
+            baseline = oracle_trial.mean_lc_performance
+            for policy_name, factory in POLICIES:
+                trial = run_trial(mix, factory(0), seed=0, budget=BUDGET)
+                normalized = (
+                    trial.mean_lc_performance / baseline if trial.qos_met else 0.0
+                )
+                results[(mix_name, load, policy_name)] = normalized
+    return results
+
+
+def test_fig10_lc_performance(benchmark):
+    results = compute()
+
+    rows = []
+    for mix_name in MIXES:
+        for load in VARIED_LOADS:
+            rows.append(
+                [mix_name, f"{load:.0%}"]
+                + [results[(mix_name, load, p)] for p, _ in POLICIES]
+            )
+    report = format_table(
+        ["mix", "varied load"] + [p for p, _ in POLICIES], rows
+    )
+    averages = {
+        p: mean(
+            results[(m, load, p)] for m in MIXES for load in VARIED_LOADS
+        )
+        for p, _ in POLICIES
+    }
+    report += "\n\naverage vs ORACLE: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in averages.items()
+    )
+    save_report("fig10_lc_performance", report)
+
+    mix = MIXES["img-dnn+xapian+memcached"][1]
+    benchmark.pedantic(
+        run_trial,
+        args=(mix, parties(0)),
+        kwargs={"seed": 0, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: CLITE sits close to ORACLE (paper: 96-98%) and clearly
+    # above PARTIES (paper: 74-85%).  RAND+/GENETIC also score highly
+    # here — at 10% fixed loads our substrate's LC-only metric is easy
+    # for an 80-sample random search — so the robust contrast the paper
+    # carries is CLITE vs the feedback controllers (see EXPERIMENTS.md).
+    assert averages["CLITE"] >= 0.9
+    assert averages["CLITE"] > averages["PARTIES"]
+    assert averages["CLITE"] >= max(averages.values()) - 0.05
+    # Shape 2: every CLITE point met QoS (normalized value positive).
+    assert all(
+        results[(m, load, "CLITE")] > 0 for m in MIXES for load in VARIED_LOADS
+    )

@@ -1,0 +1,70 @@
+"""Fig. 12: streamcluster's performance co-located with memcached and
+xapian across a load grid, per policy."""
+
+from common import BUDGET, fast_clite, mean, oracle, parties, save_report
+from repro.experiments import MixSpec, bg_performance_grid, format_heatmap, run_trial
+
+BASE_MIX = MixSpec.of(
+    lc=[("memcached", 0.1), ("xapian", 0.1)], bg=["streamcluster"]
+)
+LOADS = (0.2, 0.5, 0.8)
+
+POLICIES = (("PARTIES", parties), ("CLITE", fast_clite), ("ORACLE", oracle))
+
+
+def compute():
+    return {
+        name: bg_performance_grid(
+            BASE_MIX,
+            row_job="memcached",
+            col_job="xapian",
+            bg_job="streamcluster",
+            policy_factory=factory,
+            policy_name=name,
+            row_loads=LOADS,
+            col_loads=LOADS,
+            seed=0,
+            budget=BUDGET,
+        )
+        for name, factory in POLICIES
+    }
+
+
+def grid_mean(grid) -> float:
+    values = [v for row in grid.cells for v in row if v is not None]
+    return mean(values) if values else 0.0
+
+
+def test_fig12_bg_heatmap(benchmark):
+    grids = compute()
+    report = "\n\n".join(
+        format_heatmap(g, as_percent=False) for g in grids.values()
+    )
+    means = {name: grid_mean(grids[name]) for name, _ in POLICIES}
+    report += "\n\nmean feasible-cell BG perf: " + ", ".join(
+        f"{k}={v:.3f}" for k, v in means.items()
+    )
+    save_report("fig12_bg_heatmap", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(BASE_MIX, parties(0)),
+        kwargs={"seed": 0, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: every policy meets QoS across the whole grid (the paper
+    # notes QoS is met for all points in Fig. 12).
+    for name, _ in POLICIES:
+        assert all(v is not None for row in grids[name].cells for v in row), name
+
+    # Shape 2: CLITE consistently closer to ORACLE than PARTIES.
+    assert means["ORACLE"] >= means["CLITE"] - 1e-9
+    assert means["CLITE"] > means["PARTIES"]
+    assert means["CLITE"] >= 0.7 * means["ORACLE"]
+
+    # Shape 3: BG performance decays as LC loads rise (darker = better
+    # toward the light-load corner).
+    oracle_grid = grids["ORACLE"]
+    assert oracle_grid.cell(0, 0) >= oracle_grid.cell(2, 2)

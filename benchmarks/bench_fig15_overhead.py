@@ -1,0 +1,134 @@
+"""Fig. 15: sampling overhead per scheme (a) and post-QoS improvement (b)."""
+
+from common import (
+    BUDGET,
+    full_clite,
+    genetic,
+    heracles,
+    oracle,
+    parties,
+    rand_plus,
+    save_report,
+)
+from repro.experiments import (
+    MixSpec,
+    best_bg_performance_series,
+    first_qos_met_sample,
+    format_table,
+    overhead_table,
+    run_trial,
+)
+
+#: Mixes of growing size for the overhead sweep.
+OVERHEAD_MIXES = (
+    MixSpec.of(lc=[("memcached", 0.3), ("xapian", 0.3)]),
+    MixSpec.of(lc=[("img-dnn", 0.3), ("memcached", 0.3)], bg=["streamcluster"]),
+    MixSpec.of(
+        lc=[("img-dnn", 0.3), ("memcached", 0.3), ("masstree", 0.3)],
+        bg=["blackscholes"],
+    ),
+)
+
+POLICIES = {
+    "CLITE": full_clite,
+    "PARTIES": parties,
+    "RAND+": rand_plus,
+    "GENETIC": genetic,
+    "ORACLE": oracle,
+}
+
+#: Fig. 15(b)'s mix: three LC jobs plus fluidanimate.
+FIG15B_MIX = MixSpec.of(
+    lc=[("img-dnn", 0.3), ("memcached", 0.3), ("masstree", 0.3)],
+    bg=["fluidanimate"],
+)
+
+
+def test_fig15a_overhead(benchmark):
+    rows = overhead_table(OVERHEAD_MIXES, POLICIES, seeds=(0, 1), budget=BUDGET)
+    table = format_table(
+        ["mix", "policy", "avg samples", "avg total evals", "QoS success"],
+        [
+            [r.mix_label, r.policy, r.mean_samples, r.mean_evaluations, r.qos_success_rate]
+            for r in rows
+        ],
+    )
+    save_report("fig15a_overhead", table)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(OVERHEAD_MIXES[0], parties(0)),
+        kwargs={"seed": 0, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    by_policy = {}
+    for r in rows:
+        by_policy.setdefault(r.policy, []).append(r)
+
+    def avg(policy, attr):
+        entries = by_policy[policy]
+        return sum(getattr(e, attr) for e in entries) / len(entries)
+
+    # Shape 1: RAND+/GENETIC spend their preset budgets — the highest
+    # online overhead; PARTIES stops earliest; CLITE sits in between
+    # (slightly above PARTIES, far below the preset schemes' budgets).
+    assert avg("RAND+", "mean_samples") >= avg("CLITE", "mean_samples")
+    assert avg("GENETIC", "mean_samples") >= avg("CLITE", "mean_samples")
+    assert avg("CLITE", "mean_samples") > avg("PARTIES", "mean_samples")
+
+    # Shape 2: ORACLE's offline sweep is orders of magnitude larger.
+    assert avg("ORACLE", "mean_evaluations") > 20 * avg("CLITE", "mean_evaluations")
+
+    # Shape 3: only CLITE and ORACLE met QoS on every mix and seed.
+    assert avg("CLITE", "qos_success_rate") == 1.0
+    assert avg("ORACLE", "qos_success_rate") == 1.0
+
+
+def test_fig15b_post_qos_improvement(benchmark):
+    parties_trial = run_trial(FIG15B_MIX, parties(0), seed=0, budget=BUDGET)
+    clite_trial = run_trial(FIG15B_MIX, full_clite(0), seed=0, budget=BUDGET)
+
+    p_series = best_bg_performance_series(parties_trial.result, "fluidanimate")
+    c_series = best_bg_performance_series(clite_trial.result, "fluidanimate")
+    rows = []
+    for i in range(0, max(len(p_series), len(c_series)), 5):
+        rows.append(
+            [
+                i,
+                p_series[i] if i < len(p_series) else p_series[-1],
+                c_series[i] if i < len(c_series) else c_series[-1],
+            ]
+        )
+    report = format_table(
+        ["sample", "PARTIES best-so-far BG", "CLITE best-so-far BG"], rows
+    )
+    report += (
+        f"\n\nfirst QoS-met sample: PARTIES="
+        f"{first_qos_met_sample(parties_trial.result)}, "
+        f"CLITE={first_qos_met_sample(clite_trial.result)}"
+    )
+    save_report("fig15b_improvement", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(FIG15B_MIX, parties(1)),
+        kwargs={"seed": 1, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: both meet QoS early (within a comparable window).
+    p_first = first_qos_met_sample(parties_trial.result)
+    c_first = first_qos_met_sample(clite_trial.result)
+    assert p_first is not None and c_first is not None
+    assert c_first <= p_first + 5
+
+    # Shape 2: PARTIES plateaus once stable, while CLITE keeps
+    # improving fluidanimate well past its first QoS-met sample.
+    final_p = next(v for v in reversed(p_series) if v is not None)
+    final_c = next(v for v in reversed(c_series) if v is not None)
+    assert final_c > final_p
+    first_c_value = c_series[c_first]
+    assert final_c > first_c_value * 1.2

@@ -1,0 +1,73 @@
+"""Fig. 16: adaptation to dynamic load changes (memcached 10% -> 30%)."""
+
+from common import mean, save_report
+from repro.core import CLITEConfig
+from repro.experiments import MixSpec, format_table, run_dynamic
+from repro.workloads import LoadSchedule
+
+RAMP = LoadSchedule.steps([(0.0, 0.10), (200.0, 0.20), (400.0, 0.30)])
+MIX = MixSpec.of(
+    lc=[("img-dnn", 0.10), ("masstree", 0.10), ("memcached", RAMP)],
+    bg=["fluidanimate"],
+)
+TOTAL_TIME_S = 620.0
+ENGINE = CLITEConfig(seed=0, max_iterations=30, refine_budget=10, confirm_top=2)
+
+
+def stable_bg(trace, lo: float, hi: float):
+    """Mean fluidanimate perf over monitor windows in a time range."""
+    values = [
+        e.observation.job("fluidanimate").throughput_norm
+        for e in trace.events
+        if e.phase == "monitor" and lo <= e.time_s < hi
+    ]
+    return mean(values) if values else None
+
+
+def test_fig16_dynamic_adaptation(benchmark):
+    trace = run_dynamic(MIX, TOTAL_TIME_S, engine_config=ENGINE, seed=0)
+
+    phases = [
+        ("10% load", 0.0, 200.0),
+        ("20% load", 200.0, 400.0),
+        ("30% load", 400.0, TOTAL_TIME_S),
+    ]
+    rows = [
+        [label, stable_bg(trace, lo, hi)] for label, lo, hi in phases
+    ]
+    report = format_table(["memcached load phase", "stable fluidanimate perf"], rows)
+    report += "\n\nre-optimizations at t = " + (
+        ", ".join(f"{t:.0f}s" for t in trace.reinvocations) or "none"
+    )
+    qos_ok = [
+        e.observation.all_qos_met
+        for e in trace.events
+        if e.phase == "monitor"
+    ]
+    report += f"\nQoS met in {sum(qos_ok)}/{len(qos_ok)} monitoring windows"
+    save_report("fig16_dynamic", report)
+
+    small = MixSpec.of(lc=[("memcached", RAMP)], bg=["fluidanimate"])
+    benchmark.pedantic(
+        run_dynamic,
+        args=(small, 120.0),
+        kwargs={"engine_config": ENGINE, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: each load step triggers a re-optimization shortly after
+    # it happens.
+    assert len(trace.reinvocations) >= 2
+    assert any(200 <= t <= 280 for t in trace.reinvocations)
+    assert any(400 <= t <= 480 for t in trace.reinvocations)
+
+    # Shape 2: the stabilized BG performance decreases as memcached's
+    # load (and thus its resource share) grows.
+    values = [v for _, v in ((r[0], r[1]) for r in rows)]
+    assert all(v is not None for v in values)
+    assert values[0] > values[2]
+
+    # Shape 3: the monitored partitions keep every LC job inside QoS
+    # almost always (re-exploration windows excluded).
+    assert sum(qos_ok) / len(qos_ok) > 0.9

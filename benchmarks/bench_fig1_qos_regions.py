@@ -1,0 +1,48 @@
+"""Fig. 1: QoS-safe regions and the resource-equivalence-class property."""
+
+import numpy as np
+
+from common import save_report
+from repro.experiments import format_table, qos_region
+
+
+def render_regions(regions) -> str:
+    sections = []
+    for region in regions:
+        rows = [
+            [a_units, b_units]
+            for a_units, b_units in region.frontier()
+        ]
+        sections.append(
+            f"{region.workload} @ {region.load:.0%} load — minimum "
+            f"{region.resource_b} per {region.resource_a} allocation:\n"
+            + format_table([region.resource_a, f"min {region.resource_b}"], rows)
+        )
+    return "\n\n".join(sections)
+
+
+def test_fig1_qos_regions(benchmark):
+    region = benchmark(qos_region, "img-dnn", 0.5)
+
+    regions = [
+        qos_region(name, 0.5) for name in ("img-dnn", "specjbb", "memcached")
+    ]
+    save_report("fig1_qos_regions", render_regions(regions))
+
+    # Shape 1: multiple configurations meet QoS (the safe set is not a
+    # single point) and the share of one resource depends on the other
+    # (the frontier is not flat).
+    frontier = region.frontier()
+    assert len(frontier) >= 3
+    min_ways = [b for _, b in frontier]
+    assert max(min_ways) > min(min_ways)
+
+    # Shape 2: fewer cores demand at least as many LLC ways.
+    for (c1, w1), (c2, w2) in zip(frontier, frontier[1:]):
+        assert c2 > c1
+        assert w2 <= w1
+
+    # Shape 3: the three workloads' regions differ (Fig. 1's point that
+    # per-job sensitivity diversity is the co-location opportunity).
+    sizes = {r.workload: int(np.array(r.safe).sum()) for r in regions}
+    assert len(set(sizes.values())) >= 2

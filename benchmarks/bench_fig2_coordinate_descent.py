@@ -1,0 +1,49 @@
+"""Fig. 2: when coordinate descent can and cannot reach the overlap."""
+
+import numpy as np
+
+from common import save_report
+from repro.experiments import (
+    coordinate_descent_reaches,
+    overlap_region,
+    qos_region,
+)
+
+
+def render(overlaps) -> str:
+    lines = []
+    for label, overlap, start, reached in overlaps:
+        lines.append(
+            f"{label}: overlap cells={int(overlap.sum())}, "
+            f"equal-split start reaches overlap: {reached}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig2_coordinate_descent(benchmark):
+    region_a = qos_region("memcached", 0.4)
+    region_b = qos_region("img-dnn", 0.4)
+    overlap = benchmark(overlap_region, region_a, region_b)
+
+    cases = []
+    for load_a, load_b, label in (
+        (0.2, 0.2, "case (a): light loads"),
+        (0.4, 0.6, "case (b): mixed loads"),
+        (0.8, 0.9, "case (c): heavy loads"),
+    ):
+        o = overlap_region(
+            qos_region("memcached", load_a), qos_region("img-dnn", load_b)
+        )
+        start = (o.shape[0] // 2, o.shape[1] // 2)  # equal division
+        cases.append((label, o, start, coordinate_descent_reaches(o, start)))
+    save_report("fig2_coordinate_descent", render(cases))
+
+    # Shape: the overlap exists at light loads and shrinks (possibly to
+    # nothing) as loads rise — the regime where one-dimension-at-a-time
+    # exploration runs out of road.
+    sizes = [int(o.sum()) for _, o, _, _ in cases]
+    assert sizes[0] > 0
+    assert sizes == sorted(sizes, reverse=True)
+    assert cases[0][3]  # light loads: reachable from the equal split
+    assert int(overlap.sum()) > 0
+    assert isinstance(overlap, np.ndarray)

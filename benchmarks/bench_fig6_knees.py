@@ -1,0 +1,51 @@
+"""Fig. 6: QPS-vs-tail-latency curves and their knees for every LC job."""
+
+from common import save_report
+from repro.experiments import format_table
+from repro.resources import default_server
+from repro.workloads import LC_NAMES, lc_workload, sweep_load
+
+
+def render(sweeps) -> str:
+    sections = []
+    summary_rows = []
+    for sweep in sweeps:
+        rows = [
+            [f"{qps:,.0f}", f"{p95:.3f}"] for qps, p95 in sweep.rows()[::6]
+        ]
+        sections.append(
+            f"{sweep.workload}:\n" + format_table(["QPS", "p95 (ms)"], rows)
+        )
+        summary_rows.append(
+            [
+                sweep.workload,
+                f"{sweep.knee_qps:,.0f}",
+                f"{sweep.knee_latency_ms:.3f}",
+            ]
+        )
+    summary = "Knees (max load and QoS tail latency):\n" + format_table(
+        ["workload", "knee QPS (=100% load)", "knee p95 (ms)"], summary_rows
+    )
+    return summary + "\n\n" + "\n\n".join(sections)
+
+
+def test_fig6_knees(benchmark):
+    server = default_server()
+    raw = lc_workload("img-dnn", calibrated=False)
+    benchmark(sweep_load, raw, server)
+
+    sweeps = [
+        sweep_load(lc_workload(name, calibrated=False), server)
+        for name in LC_NAMES
+    ]
+    save_report("fig6_knees", render(sweeps))
+
+    for sweep in sweeps:
+        latencies = list(sweep.p95_ms)
+        # Shape: monotone curve, flat then sharp — the knee sits in the
+        # upper half of the swept load range and the post-knee latency
+        # climbs steeply relative to the pre-knee plateau.
+        assert latencies == sorted(latencies)
+        assert sweep.knee_index > len(latencies) * 0.4
+        assert latencies[-1] > 2.5 * sweep.knee_latency_ms
+        assert sweep.knee_latency_ms < 6 * latencies[0]

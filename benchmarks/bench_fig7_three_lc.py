@@ -1,0 +1,88 @@
+"""Fig. 7: maximum memcached load when co-located with masstree and
+img-dnn, per policy (no BG job)."""
+
+import numpy as np
+
+from common import BUDGET, fast_clite, heracles, oracle, parties, save_report
+from repro.experiments import (
+    MixSpec,
+    format_heatmap,
+    max_load_grid,
+    run_trial,
+)
+
+ROW_LOADS = (0.1, 0.5, 0.9)  # img-dnn
+COL_LOADS = (0.1, 0.5, 0.9)  # masstree
+TARGET_LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)  # memcached
+
+BASE_MIX = MixSpec.of(
+    lc=[("img-dnn", 0.1), ("masstree", 0.1), ("memcached", 0.1)]
+)
+
+POLICIES = (
+    ("Heracles", heracles),
+    ("PARTIES", parties),
+    ("CLITE", fast_clite),
+    ("ORACLE", oracle),
+)
+
+
+def compute_grids():
+    grids = {}
+    for name, factory in POLICIES:
+        grids[name] = max_load_grid(
+            BASE_MIX,
+            row_job="img-dnn",
+            col_job="masstree",
+            target_job="memcached",
+            policy_factory=factory,
+            policy_name=name,
+            row_loads=ROW_LOADS,
+            col_loads=COL_LOADS,
+            target_loads=TARGET_LOADS,
+            seed=0,
+            budget=BUDGET,
+        )
+    return grids
+
+
+def grid_total(grid) -> float:
+    return sum(v or 0.0 for row in grid.cells for v in row)
+
+
+def test_fig7_three_lc_colocations(benchmark):
+    grids = compute_grids()
+    report = "\n\n".join(
+        format_heatmap(grids[name]) for name, _ in POLICIES
+    )
+    totals = {
+        name: grid_total(grids[name]) for name, _ in POLICIES
+    }
+    report += "\n\ntotal supported memcached load (sum over cells): " + ", ".join(
+        f"{k}={v:.1f}" for k, v in totals.items()
+    )
+    save_report("fig7_three_lc", report)
+
+    # Benchmark one representative cell trial.
+    mix = BASE_MIX.with_lc_load("img-dnn", 0.5).with_lc_load("masstree", 0.5)
+    benchmark.pedantic(
+        run_trial,
+        args=(mix, parties(0)),
+        kwargs={"seed": 0, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: the paper's ordering of total co-location capacity.
+    assert totals["ORACLE"] >= totals["CLITE"] >= totals["PARTIES"]
+    assert totals["CLITE"] > totals["Heracles"]
+
+    # Shape 2: CLITE is close to ORACLE (Fig. 7's "close to ORACLE").
+    assert totals["CLITE"] >= 0.7 * totals["ORACLE"]
+
+    # Shape 3: capacity shrinks (weakly) as the co-runner loads grow.
+    oracle_grid = np.array(
+        [[v or 0.0 for v in row] for row in grids["ORACLE"].cells]
+    )
+    assert oracle_grid[0, 0] == oracle_grid.max()
+    assert oracle_grid[-1, -1] == oracle_grid.min()

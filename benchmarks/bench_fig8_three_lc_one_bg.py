@@ -1,0 +1,64 @@
+"""Fig. 8: max memcached load with three LC jobs *plus* blackscholes."""
+
+from common import BUDGET, fast_clite, oracle, parties, save_report
+from repro.experiments import MixSpec, format_heatmap, max_load_grid, run_trial
+
+ROW_LOADS = (0.1, 0.5, 0.9)  # img-dnn
+COL_LOADS = (0.1, 0.5, 0.9)  # masstree
+TARGET_LOADS = (0.2, 0.5, 0.8)  # memcached
+
+BASE_MIX = MixSpec.of(
+    lc=[("img-dnn", 0.1), ("masstree", 0.1), ("memcached", 0.1)],
+    bg=["blackscholes"],
+)
+
+POLICIES = (("PARTIES", parties), ("CLITE", fast_clite), ("ORACLE", oracle))
+
+
+def compute_grids():
+    return {
+        name: max_load_grid(
+            BASE_MIX,
+            row_job="img-dnn",
+            col_job="masstree",
+            target_job="memcached",
+            policy_factory=factory,
+            policy_name=name,
+            row_loads=ROW_LOADS,
+            col_loads=COL_LOADS,
+            target_loads=TARGET_LOADS,
+            seed=0,
+            budget=BUDGET,
+        )
+        for name, factory in POLICIES
+    }
+
+
+def grid_total(grid) -> float:
+    return sum(v or 0.0 for row in grid.cells for v in row)
+
+
+def test_fig8_three_lc_one_bg(benchmark):
+    grids = compute_grids()
+    totals = {name: grid_total(grids[name]) for name, _ in POLICIES}
+    report = "\n\n".join(format_heatmap(g) for g in grids.values())
+    report += "\n\ntotals: " + ", ".join(f"{k}={v:.1f}" for k, v in totals.items())
+    save_report("fig8_three_lc_one_bg", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(BASE_MIX.with_lc_load("img-dnn", 0.5), parties(0)),
+        kwargs={"seed": 0, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: same policy ordering as Fig. 7.
+    assert totals["ORACLE"] >= totals["CLITE"] >= totals["PARTIES"] - 0.2
+    # Shape 2: the extra BG job costs capacity — more X cells / lower
+    # totals than the Fig. 7 values for the same load points would give
+    # (the hard corner must be infeasible for everyone).
+    for name, _ in POLICIES:
+        assert grids[name].cell(2, 2) is None or grids[name].cell(2, 2) <= 0.2
+    # Shape 3: CLITE still co-locates at high loads where it matters.
+    assert (grids["CLITE"].cell(2, 0) or 0) >= 0.5

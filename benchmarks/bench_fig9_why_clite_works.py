@@ -1,0 +1,123 @@
+"""Fig. 9: why CLITE beats PARTIES — allocations and convergence.
+
+(a) the final per-job resource split of PARTIES vs CLITE on the
+img-dnn + memcached + masstree + streamcluster mix, and the BG job's
+resulting performance; (b) the same policies on a harder mix, where
+PARTIES cycles through 100 samples without ever meeting QoS while
+CLITE finds a feasible partition and stabilizes.
+"""
+
+from common import full_clite, parties, save_report
+from repro.experiments import (
+    MixSpec,
+    allocation_snapshot,
+    first_qos_met_sample,
+    format_table,
+    qos_met_series,
+    run_trial,
+)
+from repro.resources import default_server
+from repro.server import NodeBudget
+
+MIX_A = MixSpec.of(
+    lc=[("img-dnn", 0.3), ("memcached", 0.3), ("masstree", 0.3)],
+    bg=["streamcluster"],
+)
+#: The Fig. 9(b) regime: joint multi-resource moves required.
+MIX_B = MixSpec.of(
+    lc=[("img-dnn", 0.7), ("masstree", 0.6), ("memcached", 0.3)],
+    bg=["blackscholes"],
+)
+
+
+def render_snapshot(snapshots, perfs) -> str:
+    server = default_server()
+    rows = []
+    for snap in snapshots:
+        for job in snap.job_names:
+            rows.append(
+                [snap.policy, job]
+                + [f"{snap.share(job, r):.0%}" for r in server.resource_names]
+            )
+    table = format_table(
+        ["policy", "job"] + list(server.resource_names), rows
+    )
+    perf_line = ", ".join(f"{k} streamcluster={v:.1%}" for k, v in perfs.items())
+    return table + "\n\n" + perf_line
+
+
+def test_fig9a_allocation_snapshot(benchmark):
+    budget = NodeBudget(90)
+    trials = {
+        "PARTIES": run_trial(MIX_A, parties(0), seed=0, budget=budget),
+        "CLITE": run_trial(MIX_A, full_clite(0), seed=0, budget=budget),
+    }
+    node = MIX_A.build_node(seed=0)
+    snapshots = [
+        allocation_snapshot(t.result, default_server(), node.job_names())
+        for t in trials.values()
+    ]
+    perfs = {k: t.bg_performance["streamcluster"] for k, t in trials.items()}
+    save_report("fig9a_allocations", render_snapshot(snapshots, perfs))
+
+    benchmark.pedantic(
+        run_trial,
+        args=(MIX_A, parties(1)),
+        kwargs={"seed": 1, "budget": budget},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape: both meet QoS, but CLITE's reshuffling leaves the BG job
+    # better off (the paper's 89% vs 39% of ORACLE gap, directionally).
+    assert trials["PARTIES"].qos_met and trials["CLITE"].qos_met
+    assert perfs["CLITE"] > perfs["PARTIES"]
+    # And the allocations genuinely differ — CLITE found a different
+    # resource-equivalence point, not a tweak of PARTIES' answer.
+    assert (
+        trials["CLITE"].result.best_config
+        != trials["PARTIES"].result.best_config
+    )
+
+
+def test_fig9b_convergence(benchmark):
+    budget = NodeBudget(100)
+    parties_trial = run_trial(MIX_B, parties(2), seed=2, budget=budget)
+    clite_trial = run_trial(MIX_B, full_clite(2), seed=2, budget=budget)
+
+    p_series = qos_met_series(parties_trial.result)
+    c_first = first_qos_met_sample(clite_trial.result)
+    report = format_table(
+        ["policy", "samples", "ever met QoS", "first QoS sample", "final QoS"],
+        [
+            [
+                "PARTIES",
+                parties_trial.samples,
+                any(p_series),
+                first_qos_met_sample(parties_trial.result),
+                parties_trial.qos_met,
+            ],
+            [
+                "CLITE",
+                clite_trial.samples,
+                c_first is not None,
+                c_first,
+                clite_trial.qos_met,
+            ],
+        ],
+    )
+    save_report("fig9b_convergence", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(MIX_B, parties(3)),
+        kwargs={"seed": 3, "budget": budget},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape: PARTIES churns its budget without a QoS-meeting partition;
+    # CLITE discovers one well inside its budget and keeps it.
+    assert not parties_trial.qos_met
+    assert clite_trial.qos_met
+    assert c_first is not None and c_first < 60

@@ -1,0 +1,75 @@
+"""Sec. 5.2: Fractional Factorial Designs and Response Surface Methods
+need more samples than CLITE and still land on worse configurations."""
+
+from common import full_clite, genetic, save_report
+from repro.experiments import MixSpec, format_table, run_trial
+from repro.schedulers import FFDPolicy, RSMPolicy
+from repro.server import NodeBudget
+
+#: The paper's example scenario: memcached 100%, xapian 10%,
+#: streamcluster as BG (9 factors on the Table 2 box).
+MIX = MixSpec.of(lc=[("memcached", 1.0), ("xapian", 0.1)], bg=["streamcluster"])
+BUDGET = NodeBudget(200)  # DSE methods need room for their full designs
+
+POLICIES = (
+    ("FFD", lambda seed: FFDPolicy(seed=seed)),
+    ("RSM (Box-Behnken)", lambda seed: RSMPolicy(seed=seed)),
+    ("RSM (CCD)", lambda seed: RSMPolicy(design="central-composite", seed=seed)),
+    ("GENETIC", genetic),
+    ("CLITE", full_clite),
+)
+
+
+def compute():
+    return {
+        name: run_trial(MIX, factory(0), seed=0, budget=BUDGET)
+        for name, factory in POLICIES
+    }
+
+
+def test_sec52_ffd_rsm(benchmark):
+    trials = compute()
+    rows = [
+        [
+            name,
+            t.samples,
+            "yes" if t.qos_met else "NO",
+            t.mean_bg_performance if t.qos_met else None,
+        ]
+        for name, t in trials.items()
+    ]
+    report = format_table(
+        ["method", "samples", "QoS met", "BG perf (norm)"], rows
+    )
+    save_report("sec52_ffd_rsm", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(MIX, FFDPolicy(seed=1)),
+        kwargs={"seed": 1, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    clite = trials["CLITE"]
+    assert clite.qos_met
+
+    # Shape 1 (sample counts): the static designs are data-hungry —
+    # Box-Behnken runs ~2x CLITE's samples (paper: 130 runs), and both
+    # composite designs dwarf the FFD screening design.  (Our CCD core
+    # is a 32-run fold-over rather than the paper's 2^(9-3); its run
+    # count is accordingly smaller but the quality conclusion holds.)
+    assert trials["RSM (Box-Behnken)"].samples > clite.samples
+    assert trials["RSM (CCD)"].samples > trials["FFD"].samples
+    assert trials["FFD"].samples >= 30
+
+    # Shape 2 (result quality): no static design matches CLITE; the
+    # paper found 2-level FFD cannot even predict a QoS-meeting
+    # configuration for this scenario.
+    for name in ("FFD", "RSM (Box-Behnken)", "RSM (CCD)"):
+        trial = trials[name]
+        worse_quality = (
+            not trial.qos_met
+            or trial.mean_bg_performance < clite.mean_bg_performance
+        )
+        assert worse_quality, name

@@ -1,0 +1,76 @@
+"""Sec. 5.2: CLITE's benefits are not sensitive to BO parameter tuning.
+
+The paper reports CLITE staying "mostly within 2% of the observed
+performance with reasonably well-chosen parameters"; we sweep ζ, the
+dropout policy, and the bootstrap size knob and check the spread stays
+small relative to the cross-policy gaps the other figures show.
+"""
+
+from dataclasses import replace
+
+from common import mean, save_report
+from repro.core import CLITEConfig
+from repro.experiments import MixSpec, format_table, run_trial
+from repro.schedulers import CLITEPolicy
+from repro.server import NodeBudget
+
+MIX = MixSpec.of(
+    lc=[("img-dnn", 0.4), ("memcached", 0.4), ("masstree", 0.3)],
+    bg=["streamcluster"],
+)
+BUDGET = NodeBudget(90)
+BASE = CLITEConfig(seed=0)
+
+VARIANTS = {
+    "default (zeta=0.01)": BASE,
+    "zeta=0.001": replace(BASE, zeta=0.001),
+    "zeta=0.05": replace(BASE, zeta=0.05),
+    "dropout random_prob=0.0": replace(BASE, dropout_random_prob=0.0),
+    "dropout random_prob=0.3": replace(BASE, dropout_random_prob=0.3),
+    "ei_threshold=0.002": replace(BASE, ei_threshold=0.002),
+    "ei_threshold=0.02": replace(BASE, ei_threshold=0.02),
+}
+
+SEEDS = (0, 1)
+
+
+def compute():
+    results = {}
+    for name, config in VARIANTS.items():
+        perfs = []
+        for seed in SEEDS:
+            trial = run_trial(
+                MIX,
+                CLITEPolicy(config=replace(config, seed=seed)),
+                seed=seed,
+                budget=BUDGET,
+            )
+            perfs.append(trial.mean_bg_performance if trial.qos_met else 0.0)
+        results[name] = mean(perfs)
+    return results
+
+
+def test_sec52_parameter_sensitivity(benchmark):
+    results = compute()
+    rows = [[name, perf] for name, perf in results.items()]
+    spread = max(results.values()) - min(results.values())
+    report = format_table(["variant", "mean BG perf"], rows)
+    report += f"\n\nspread across variants: {spread:.3f}"
+    save_report("sec52_param_sensitivity", report)
+
+    benchmark.pedantic(
+        run_trial,
+        args=(MIX, CLITEPolicy(seed=5)),
+        kwargs={"seed": 5, "budget": BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape 1: every variant still meets QoS (non-zero performance).
+    assert all(v > 0 for v in results.values())
+    # Shape 2: the spread across reasonable parameter choices is small
+    # compared to the CLITE-vs-PARTIES gaps elsewhere (paper: ~2%; we
+    # allow simulator slack but demand the same "no tuning needed"
+    # conclusion).
+    assert spread <= 0.12
+    assert min(results.values()) >= 0.6 * max(results.values())

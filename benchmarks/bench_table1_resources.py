@@ -1,0 +1,38 @@
+"""Table 1: shared resources, their partitioning methods and tools."""
+
+from common import save_report
+from repro.experiments import format_table
+from repro.resources import ConfigurationSpace, IsolationManager, full_server
+
+
+def render_table1() -> str:
+    server = full_server()
+    rows = [
+        [r.name, r.units, r.allocation_method, r.isolation_tool]
+        for r in server.resources
+    ]
+    return format_table(
+        ["shared resource", "units", "allocation method", "isolation tool"], rows
+    )
+
+
+def test_table1_resources(benchmark):
+    server = full_server()
+    space = ConfigurationSpace(server, 3)
+    manager = IsolationManager(server)
+    configs = [space.equal_partition()] + [space.max_allocation(j) for j in range(3)]
+
+    def apply_round():
+        for config in configs:
+            manager.apply(config)
+        return manager.total_enforcement_seconds
+
+    benchmark(apply_round)
+
+    report = render_table1()
+    save_report("table1_resources", report)
+
+    # Shape: all six Table 1 resources exist, with the paper's tools.
+    tools = {r.isolation_tool for r in server.resources}
+    assert {"taskset", "Intel CAT", "Intel MBA"} <= tools
+    assert server.n_resources == 6

@@ -1,0 +1,41 @@
+"""Table 2: the testbed configuration, plus the Sec. 2 search-space math."""
+
+from common import save_report
+from repro.experiments import format_table
+from repro.resources import ConfigurationSpace, default_server
+
+
+def render_table2() -> str:
+    server = default_server()
+    rows = [
+        ["CPU model", server.cpu_model],
+        ["sockets", server.sockets],
+        ["frequency", f"{server.frequency_ghz} GHz"],
+        ["memory", f"{server.memory_gb} GB"],
+        ["partitionable resources", ", ".join(server.resource_names)],
+        ["cores (units)", server.resource("cores").units],
+        ["LLC ways (units)", server.resource("llc_ways").units],
+        ["membw slices (units)", server.resource("membw").units],
+    ]
+    space_rows = [
+        [n, ConfigurationSpace(server, n).size()] for n in range(2, 5)
+    ]
+    return (
+        format_table(["component", "specification"], rows)
+        + "\n\nconfiguration-space size (Sec. 2 formula):\n"
+        + format_table(["co-located jobs", "configurations"], space_rows)
+    )
+
+
+def test_table2_testbed(benchmark):
+    server = default_server()
+
+    def space_math():
+        return [ConfigurationSpace(server, n).size() for n in range(2, 5)]
+
+    sizes = benchmark(space_math)
+    save_report("table2_testbed", render_table2())
+
+    # Shape: the space explodes combinatorially with the job count.
+    assert sizes[0] < sizes[1] < sizes[2]
+    assert sizes[1] == 36 * 45 * 36  # 3 jobs on the Table 2 box

@@ -1,0 +1,81 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the experiment (scaled to finish in minutes, not the testbed-days the
+originals took), prints the same rows/series the paper reports, saves
+them under ``benchmarks/results/``, and asserts the figure's *shape* —
+who wins, roughly by how much, where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import CLITEConfig
+from repro.schedulers import (
+    CLITEPolicy,
+    GeneticPolicy,
+    HeraclesPolicy,
+    OraclePolicy,
+    PartiesPolicy,
+    RandomPlusPolicy,
+)
+from repro.server import NodeBudget
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Shared online sampling budget for grid benches.
+BUDGET = NodeBudget(80)
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a bench's report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+
+
+def fast_clite(seed):
+    """CLITE tuned for grid sweeps: fewer iterations, same mechanisms."""
+    return CLITEPolicy(
+        config=CLITEConfig(
+            seed=seed,
+            max_iterations=30,
+            post_qos_iterations=12,
+            refine_budget=12,
+            confirm_top=2,
+            n_restarts=5,
+        )
+    )
+
+
+def full_clite(seed):
+    """CLITE at its default settings (headline comparisons)."""
+    return CLITEPolicy(seed=seed)
+
+
+def parties(seed):
+    return PartiesPolicy()
+
+
+def heracles(seed):
+    return HeraclesPolicy()
+
+
+def rand_plus(seed):
+    return RandomPlusPolicy(seed=seed)
+
+
+def genetic(seed):
+    return GeneticPolicy(seed=seed)
+
+
+def oracle(seed):
+    return OraclePolicy(max_enumeration=60_000, climb_seeds=10)
+
+
+def mean(values) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

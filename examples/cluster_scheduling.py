@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Warehouse-scale placement: co-location as a cluster-efficiency tool.
+
+The paper's pitch is that safely co-locating multiple LC jobs with
+batch work is how datacenters reclaim idle machines.  This example
+plays a stream of nine service/batch placement requests against three
+generations of placement policy and prints the operator's view:
+machines used, QoS safety, and batch throughput.
+
+* dedicated  — one job per machine (no co-location, the conservative
+  baseline the paper's introduction starts from);
+* first-fit  — dense structural packing, blind to QoS;
+* clite      — pack only where a CLITE run proves a QoS-safe partition
+  exists, opening a fresh machine otherwise.
+"""
+
+from repro.cluster import (
+    CLITEPlacement,
+    Cluster,
+    DedicatedPlacement,
+    FirstFitPlacement,
+    JobRequest,
+    utilization_summary,
+)
+from repro.experiments import format_table
+from repro.resources import default_server
+from repro.workloads import parsec_catalog, tailbench_catalog
+
+N_NODES = 10
+
+
+def request_stream(server):
+    lc = tailbench_catalog(server)
+    bg = parsec_catalog()
+    return [
+        JobRequest(lc["memcached"], 0.9, name="mc-frontend"),
+        JobRequest(lc["img-dnn"], 0.8, name="vision-api"),
+        JobRequest(lc["xapian"], 0.7, name="search"),
+        JobRequest(lc["masstree"], 0.8, name="kv-store"),
+        JobRequest(lc["specjbb"], 0.7, name="middleware"),
+        JobRequest(lc["memcached"], 0.4, name="mc-sessions"),
+        JobRequest(bg["streamcluster"], name="analytics"),
+        JobRequest(bg["blackscholes"], name="pricing-batch"),
+        JobRequest(bg["canneal"], name="place-route"),
+    ]
+
+
+def main() -> None:
+    server = default_server()
+    policies = (
+        DedicatedPlacement(),
+        FirstFitPlacement(max_jobs_per_node=4),
+        CLITEPlacement(max_jobs_per_node=4),
+    )
+
+    rows = []
+    placements = {}
+    for policy in policies:
+        cluster = Cluster(n_nodes=N_NODES, spec=server)
+        outcome = policy.place(cluster, request_stream(server), seed=0)
+        summary = utilization_summary(outcome, N_NODES)
+        rows.append(
+            [
+                policy.name,
+                summary["machines_used"],
+                "yes" if summary["all_qos_met"] else "NO",
+                summary["mean_bg_performance"],
+                summary["rejected"],
+            ]
+        )
+        placements[policy.name] = outcome.placements
+
+    print(f"Placing 9 requests on a {N_NODES}-node cluster:\n")
+    print(
+        format_table(
+            ["policy", "machines", "all QoS met", "mean BG perf", "rejected"],
+            rows,
+        )
+    )
+
+    print("\nCLITE placement map (request -> node):")
+    by_node = {}
+    for name, node in sorted(placements["clite"].items(), key=lambda kv: kv[1]):
+        by_node.setdefault(node, []).append(name)
+    for node, names in sorted(by_node.items()):
+        print(f"  node {node}: {', '.join(names)}")
+
+    print(
+        "\nReading: dedicated wastes the cluster to stay safe; first-fit"
+        "\npacks densely but may break QoS; CLITE packs as densely as a"
+        "\nproven-safe partition allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bring your own workload and server.
+
+The library is not limited to the paper's Tailbench/PARSEC catalogs:
+define a latency-critical service and a batch job from their resource
+sensitivities, calibrate the LC job's QoS target from its own
+QPS-vs-latency knee (the Fig. 6 methodology), and let CLITE partition a
+custom server for them.
+"""
+
+from repro import CLITEEngine, CLITEConfig, Job, Node
+from repro.resources import CORES, LLC_WAYS, MEMORY_BANDWIDTH, Resource, ServerSpec
+from repro.workloads import (
+    BGWorkload,
+    LCWorkload,
+    ResourceProfile,
+    SensitivityCurve,
+    calibrate,
+    sweep_load,
+)
+
+
+def main() -> None:
+    # A 16-core server with a 12-way LLC and 8 bandwidth slices.
+    server = ServerSpec(
+        resources=(
+            Resource(CORES, 16, "core affinity", "taskset"),
+            Resource(LLC_WAYS, 12, "way partitioning", "Intel CAT"),
+            Resource(MEMORY_BANDWIDTH, 8, "bandwidth limiting", "Intel MBA"),
+        ),
+        description="custom 16-core box",
+    )
+
+    # A cache-hungry RPC service: a request is ~35% serialized on its
+    # dispatcher thread, and it falls off a cliff without LLC ways.
+    rpc = LCWorkload(
+        name="rpc-service",
+        description="cache-hungry RPC frontend",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=1.4, shape=2.5, floor=0.15),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.5, shape=4.0, floor=0.3),
+            }
+        ),
+        base_service_rate=2500.0,
+        serial_fraction=0.35,
+    )
+
+    # A bandwidth-streaming analytics job.
+    analytics = BGWorkload(
+        name="analytics",
+        description="columnar scan batch job",
+        profile=ResourceProfile(
+            {
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=1.2, shape=1.5, floor=0.2),
+                LLC_WAYS: SensitivityCurve(weight=0.3, shape=5.0, floor=0.4),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=1.0, floor=0.0),
+    )
+
+    # Calibrate the service in isolation: sweep QPS, find the knee.
+    sweep = sweep_load(rpc, server)
+    print("QPS-vs-p95 sweep (isolated, every 10th point):")
+    for qps, p95 in sweep.rows()[::10]:
+        marker = "  <- knee" if qps == sweep.knee_qps else ""
+        print(f"  {qps:9.0f} qps  ->  {p95:7.2f} ms{marker}")
+    rpc = calibrate(rpc, server)
+    print(f"\nCalibrated: QoS target {rpc.qos_latency_ms:.2f} ms, "
+          f"max load {rpc.max_qps:.0f} qps\n")
+
+    # Co-locate at 60% load and optimize the partition.
+    node = Node(server, [Job.lc(rpc, 0.6), Job.bg(analytics)])
+    result = CLITEEngine(node, CLITEConfig(seed=0)).optimize()
+
+    print(f"CLITE sampled {result.samples_taken} configurations "
+          f"(converged: {result.converged}).")
+    truth = node.true_performance(result.best_config)
+    rpc_obs = truth.job("rpc-service")
+    print(f"rpc-service: p95 {rpc_obs.p95_ms:.2f} ms vs target "
+          f"{rpc_obs.qos_target_ms:.2f} ms -> QoS met: {rpc_obs.qos_met}")
+    print(f"analytics:   {truth.job('analytics').throughput_norm:.1%} "
+          "of isolated throughput")
+    print("\nPartition (units of cores / LLC ways / membw):")
+    for j, name in enumerate(node.job_names()):
+        print(f"  {name:12s} {result.best_config.job_allocation(j)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Head-to-head policy comparison on one co-location mix.
+
+Runs every policy of the paper's Sec. 5 lineup — CLITE, PARTIES,
+Heracles, RAND+, GENETIC, and the offline ORACLE — on the same
+three-LC-plus-one-BG mix and prints a summary table: whether each
+policy met every QoS target, the background job's normalized
+throughput under its chosen partition, and how many configurations it
+had to sample to get there.
+"""
+
+from repro import NodeBudget
+from repro.experiments import MixSpec, STANDARD_POLICIES, format_table, run_trial
+
+
+def main() -> None:
+    mix = MixSpec.of(
+        lc=[("img-dnn", 0.5), ("memcached", 0.5), ("masstree", 0.3)],
+        bg=["streamcluster"],
+    )
+    budget = NodeBudget(90)
+    print(f"Mix: {mix.label()}   (budget: {budget.max_samples} windows)\n")
+
+    rows = []
+    for name, factory in STANDARD_POLICIES.items():
+        trial = run_trial(mix, factory(0), seed=0, budget=budget)
+        bg = trial.mean_bg_performance if trial.qos_met else None
+        rows.append(
+            [
+                name,
+                "yes" if trial.qos_met else "NO",
+                bg,
+                trial.samples,
+                trial.evaluations,
+            ]
+        )
+
+    print(
+        format_table(
+            ["policy", "QoS met", "BG perf (norm)", "online samples", "total evals"],
+            rows,
+        )
+    )
+    print(
+        "\nBG perf is streamcluster's throughput relative to running alone;"
+        "\n'X' marks a policy that could not meet every LC job's QoS."
+    )
+
+
+if __name__ == "__main__":
+    main()

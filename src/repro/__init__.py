@@ -1,0 +1,95 @@
+"""CLITE: QoS-aware co-location of multiple latency-critical jobs.
+
+A complete reproduction of *CLITE: Efficient and QoS-Aware Co-location
+of Multiple Latency-Critical Jobs for Warehouse Scale Computers*
+(Patel & Tiwari, HPCA 2020): the Bayesian-optimization partitioning
+engine, a simulated multi-resource server substrate standing in for the
+paper's CAT/MBA testbed and Tailbench/PARSEC workloads, every baseline
+policy of the evaluation, and the experiment harness that regenerates
+the paper's tables and figures.
+
+Quick start::
+
+    from repro import MixSpec, CLITEPolicy, NodeBudget, run_trial
+
+    mix = MixSpec.of(
+        lc=[("img-dnn", 0.5), ("memcached", 0.5)],
+        bg=["streamcluster"],
+    )
+    trial = run_trial(mix, CLITEPolicy(seed=0), seed=0, budget=NodeBudget(60))
+    print(trial.qos_met, trial.bg_performance)
+"""
+
+from .core import CLITEConfig, CLITEEngine, CLITEResult
+from .experiments import MixSpec, run_trial
+from .resources import (
+    Configuration,
+    ConfigurationSpace,
+    Resource,
+    ServerSpec,
+    default_server,
+    full_server,
+    small_server,
+)
+from .schedulers import (
+    CLITEPolicy,
+    FFDPolicy,
+    GeneticPolicy,
+    HeraclesPolicy,
+    OraclePolicy,
+    PartiesPolicy,
+    Policy,
+    PolicyResult,
+    RSMPolicy,
+    RandomPlusPolicy,
+)
+from .server import Job, Node, NodeBudget, Observation, PerformanceCounters
+from .workloads import (
+    BGWorkload,
+    LCWorkload,
+    LoadSchedule,
+    bg_workload,
+    lc_workload,
+    parsec_catalog,
+    tailbench_catalog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BGWorkload",
+    "CLITEConfig",
+    "CLITEEngine",
+    "CLITEPolicy",
+    "CLITEResult",
+    "Configuration",
+    "ConfigurationSpace",
+    "FFDPolicy",
+    "GeneticPolicy",
+    "HeraclesPolicy",
+    "Job",
+    "LCWorkload",
+    "LoadSchedule",
+    "MixSpec",
+    "Node",
+    "NodeBudget",
+    "Observation",
+    "OraclePolicy",
+    "PartiesPolicy",
+    "PerformanceCounters",
+    "Policy",
+    "PolicyResult",
+    "RSMPolicy",
+    "RandomPlusPolicy",
+    "Resource",
+    "ServerSpec",
+    "bg_workload",
+    "default_server",
+    "full_server",
+    "lc_workload",
+    "parsec_catalog",
+    "run_trial",
+    "small_server",
+    "tailbench_catalog",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Cluster-level placement on top of per-node CLITE partitioning."""
+
+from .scheduler import (
+    CLITEPlacement,
+    DedicatedPlacement,
+    FirstFitPlacement,
+    PLACEMENT_ENGINE,
+    PlacementPolicy,
+    utilization_summary,
+    verify_node,
+)
+from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
+
+__all__ = [
+    "CLITEPlacement",
+    "Cluster",
+    "ClusterNode",
+    "DedicatedPlacement",
+    "FirstFitPlacement",
+    "JobRequest",
+    "PLACEMENT_ENGINE",
+    "PlacementOutcome",
+    "PlacementPolicy",
+    "utilization_summary",
+    "verify_node",
+]

@@ -1,0 +1,223 @@
+"""Cluster placement policies.
+
+Three generations of datacenter placement, mirroring the paper's
+introduction:
+
+* **dedicated** — the traditional conservative stance: no co-location
+  at all, every job gets its own machine (QoS is trivially safe, the
+  cluster is mostly idle);
+* **first-fit** — structural packing with a co-location cap but no QoS
+  awareness: dense, but nothing guarantees the LC jobs survive it;
+* **QoS-aware (CLITE)** — pack onto the first node where a CLITE run
+  *demonstrates* a QoS-meeting partition, falling back to a fresh
+  machine otherwise — the "schedule it elsewhere" loop the paper's
+  bootstrap check enables.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import CLITEConfig, CLITEEngine
+from ..server.node import NodeBudget
+from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
+
+#: Engine settings for the many small optimizations placement needs.
+PLACEMENT_ENGINE = CLITEConfig(
+    max_iterations=25,
+    post_qos_iterations=8,
+    refine_budget=8,
+    confirm_top=2,
+    n_restarts=4,
+)
+
+
+def verify_node(
+    node_state: ClusterNode,
+    engine_config: Optional[CLITEConfig] = None,
+    seed: Optional[int] = 0,
+) -> Tuple[bool, Optional[float]]:
+    """Partition one node with CLITE and report (qos_met, mean BG perf).
+
+    The report uses the simulator's noise-free view of the chosen
+    partition, like every other ground-truth metric in the harness.
+    """
+    from dataclasses import replace
+
+    config = engine_config or PLACEMENT_ENGINE
+    node = node_state.build_node(seed=seed)
+    result = CLITEEngine(node, replace(config, seed=seed)).optimize()
+    if result.best_config is None:
+        return False, None
+    truth = node.true_performance(result.best_config)
+    bg = [j.throughput_norm for j in truth.bg_jobs]
+    return truth.all_qos_met, (sum(bg) / len(bg) if bg else None)
+
+
+class PlacementPolicy(ABC):
+    """Decides which node each job request lands on."""
+
+    name: str = "placement"
+
+    @abstractmethod
+    def place(
+        self,
+        cluster: Cluster,
+        requests: Sequence[JobRequest],
+        seed: Optional[int] = 0,
+    ) -> PlacementOutcome:
+        """Place every request (or reject it) and report the outcome."""
+
+    def _finalize(
+        self,
+        cluster: Cluster,
+        rejected: List[str],
+        seed: Optional[int],
+        verify: bool,
+        engine_config: Optional[CLITEConfig] = None,
+    ) -> PlacementOutcome:
+        reports: Dict[int, Tuple[bool, Optional[float]]] = {}
+        if verify:
+            for node_state in cluster.used_nodes():
+                reports[node_state.index] = verify_node(
+                    node_state, engine_config, seed
+                )
+        return PlacementOutcome(
+            placements=cluster.placements(),
+            rejected=tuple(rejected),
+            machines_used=cluster.machines_used(),
+            node_reports=reports,
+        )
+
+
+@dataclass
+class DedicatedPlacement(PlacementPolicy):
+    """No co-location: one request per machine (the pre-co-location
+    baseline the paper's introduction argues against)."""
+
+    verify: bool = True
+
+    name = "dedicated"
+
+    def place(self, cluster, requests, seed=0) -> PlacementOutcome:
+        rejected: List[str] = []
+        for request in requests:
+            empty = [n for n in cluster.nodes if n.n_jobs == 0]
+            if not empty:
+                rejected.append(request.request_name)
+                continue
+            cluster.place(empty[0].index, request)
+        return self._finalize(cluster, rejected, seed, self.verify)
+
+
+@dataclass
+class FirstFitPlacement(PlacementPolicy):
+    """Structural first fit up to a co-location cap, QoS-blind."""
+
+    max_jobs_per_node: int = 4
+    verify: bool = True
+
+    name = "first-fit"
+
+    def __post_init__(self) -> None:
+        if self.max_jobs_per_node < 1:
+            raise ValueError("max_jobs_per_node must be >= 1")
+
+    def place(self, cluster, requests, seed=0) -> PlacementOutcome:
+        rejected: List[str] = []
+        for request in requests:
+            target = None
+            for node_state in cluster.nodes:
+                if (
+                    node_state.n_jobs < self.max_jobs_per_node
+                    and node_state.can_host(request)
+                ):
+                    target = node_state.index
+                    break
+            if target is None:
+                rejected.append(request.request_name)
+                continue
+            cluster.place(target, request)
+        return self._finalize(cluster, rejected, seed, self.verify)
+
+
+@dataclass
+class CLITEPlacement(PlacementPolicy):
+    """QoS-verified packing: co-locate only where CLITE proves it safe.
+
+    For each request, candidate nodes are tried densest-first; a
+    candidate is accepted only if a CLITE run on the tentative job set
+    finds a partition meeting every LC job's QoS (BG requests are
+    accepted structurally — they have no QoS to violate, and the
+    per-node partitioning protects their hosts' LC jobs).  A request no
+    occupied node can absorb opens a fresh machine; with no machines
+    left it is rejected — the paper's "schedule it elsewhere", at
+    cluster scope.
+    """
+
+    max_jobs_per_node: int = 4
+    engine_config: CLITEConfig = field(
+        default_factory=lambda: PLACEMENT_ENGINE
+    )
+    verify: bool = True
+
+    name = "clite"
+
+    def __post_init__(self) -> None:
+        if self.max_jobs_per_node < 1:
+            raise ValueError("max_jobs_per_node must be >= 1")
+
+    def _admissible(
+        self, node_state: ClusterNode, request: JobRequest, seed: Optional[int]
+    ) -> bool:
+        tentative = node_state.with_request(request)
+        if not request.is_lc and not tentative.lc_requests:
+            return True  # BG-only nodes need no QoS proof
+        qos_met, _ = verify_node(tentative, self.engine_config, seed)
+        return qos_met
+
+    def place(self, cluster, requests, seed=0) -> PlacementOutcome:
+        rejected: List[str] = []
+        for request in requests:
+            occupied = sorted(
+                (n for n in cluster.nodes if 0 < n.n_jobs < self.max_jobs_per_node),
+                key=lambda n: -n.n_jobs,
+            )
+            target = None
+            for node_state in occupied:
+                if not node_state.can_host(request):
+                    continue
+                if self._admissible(node_state, request, seed):
+                    target = node_state.index
+                    break
+            if target is None:
+                empty = [n for n in cluster.nodes if n.n_jobs == 0]
+                if empty:
+                    target = empty[0].index
+                else:
+                    rejected.append(request.request_name)
+                    continue
+            cluster.place(target, request)
+        return self._finalize(
+            cluster, rejected, seed, self.verify, self.engine_config
+        )
+
+
+def utilization_summary(outcome: PlacementOutcome, total_nodes: int) -> Dict[str, object]:
+    """The cluster-efficiency numbers a datacenter operator reads."""
+    if total_nodes < 1:
+        raise ValueError("total_nodes must be >= 1")
+    return {
+        "machines_used": outcome.machines_used,
+        "machines_total": total_nodes,
+        "utilization": outcome.machines_used / total_nodes,
+        "rejected": len(outcome.rejected),
+        "all_qos_met": outcome.all_qos_met,
+        "mean_bg_performance": outcome.mean_bg_performance(),
+    }
+
+
+#: Re-exported for callers configuring placement verification budgets.
+DEFAULT_VERIFY_BUDGET = NodeBudget(60)

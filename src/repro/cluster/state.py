@@ -1,0 +1,187 @@
+"""Cluster substrate: many servers, a job queue, per-node co-location.
+
+The paper's motivation is warehouse-scale: co-location exists to raise
+*datacenter* utilization, and CLITE's bootstrap explicitly flags jobs
+that "can be immediately scheduled elsewhere without wasting any BO
+cycles".  This subpackage provides the elsewhere: a cluster of
+simulated nodes, a placement request stream, and the bookkeeping to
+measure how many machines a placement policy needs and how well the
+background work runs on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..resources.spec import ServerSpec, default_server
+from ..server.node import Job, Node
+from ..workloads.base import BGWorkload, LCWorkload
+from ..workloads.loadgen import LoadSchedule
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job asking for placement somewhere in the cluster.
+
+    Attributes:
+        workload: The LC or BG workload to run.
+        load: Load fraction (LC jobs only).
+        name: Unique request name; defaults to the workload name, but
+            multiple instances of the same workload need distinct names.
+    """
+
+    workload: Union[LCWorkload, BGWorkload]
+    load: Optional[float] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, LCWorkload):
+            if self.load is None:
+                raise ValueError("LC job requests need a load fraction")
+            if not 0 < self.load <= 1.0:
+                raise ValueError(f"load must be in (0, 1], got {self.load}")
+        elif self.load is not None:
+            raise ValueError("BG job requests do not take a load")
+
+    @property
+    def is_lc(self) -> bool:
+        return isinstance(self.workload, LCWorkload)
+
+    @property
+    def request_name(self) -> str:
+        return self.name if self.name is not None else self.workload.name
+
+    def to_job(self) -> Job:
+        """Materialize as a node job (renamed copy of the workload)."""
+        from dataclasses import replace
+
+        workload = replace(self.workload, name=self.request_name)
+        if self.is_lc:
+            return Job(workload, LoadSchedule.constant(self.load))
+        return Job(workload)
+
+
+@dataclass
+class ClusterNode:
+    """One machine of the cluster: its spec plus the jobs placed on it."""
+
+    index: int
+    spec: ServerSpec
+    requests: List[JobRequest] = field(default_factory=list)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.requests)
+
+    @property
+    def lc_requests(self) -> List[JobRequest]:
+        return [r for r in self.requests if r.is_lc]
+
+    @property
+    def bg_requests(self) -> List[JobRequest]:
+        return [r for r in self.requests if not r.is_lc]
+
+    def job_names(self) -> List[str]:
+        return [r.request_name for r in self.requests]
+
+    def can_host(self, request: JobRequest) -> bool:
+        """Structural check: a free unit of every resource, unique name."""
+        if request.request_name in self.job_names():
+            return False
+        return self.n_jobs + 1 <= self.spec.max_jobs()
+
+    def with_request(self, request: JobRequest) -> "ClusterNode":
+        """A copy of this node hosting one more request."""
+        if not self.can_host(request):
+            raise ValueError(
+                f"node {self.index} cannot host {request.request_name!r}"
+            )
+        return ClusterNode(
+            index=self.index, spec=self.spec, requests=self.requests + [request]
+        )
+
+    def build_node(self, seed: Optional[int] = None) -> Node:
+        """A fresh simulated server running this node's current jobs."""
+        if not self.requests:
+            raise ValueError(f"node {self.index} is empty")
+        return Node(self.spec, [r.to_job() for r in self.requests], window_s=2.0)
+
+
+@dataclass
+class Cluster:
+    """A fixed pool of machines accepting placements.
+
+    Homogeneous by default; pass ``specs`` for a heterogeneous fleet
+    (e.g. a few big-cache nodes among standard ones) — placement
+    policies consult each node's own spec, so mixing generations works
+    transparently.
+    """
+
+    n_nodes: int
+    spec: ServerSpec = field(default_factory=default_server)
+    specs: Optional[List[ServerSpec]] = None
+    nodes: List[ClusterNode] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if self.specs is not None:
+            if len(self.specs) != self.n_nodes:
+                raise ValueError(
+                    f"got {len(self.specs)} specs for {self.n_nodes} nodes"
+                )
+            per_node = list(self.specs)
+        else:
+            per_node = [self.spec] * self.n_nodes
+        self.nodes = [ClusterNode(i, s) for i, s in enumerate(per_node)]
+
+    def place(self, node_index: int, request: JobRequest) -> None:
+        """Commit a placement."""
+        self.nodes[node_index] = self.nodes[node_index].with_request(request)
+
+    def used_nodes(self) -> List[ClusterNode]:
+        return [n for n in self.nodes if n.n_jobs > 0]
+
+    def machines_used(self) -> int:
+        return len(self.used_nodes())
+
+    def placements(self) -> Dict[str, int]:
+        """Request name -> node index for every placed request."""
+        return {
+            r.request_name: node.index
+            for node in self.nodes
+            for r in node.requests
+        }
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Result of placing a request stream on a cluster.
+
+    Attributes:
+        placements: Request name -> node index.
+        rejected: Requests no node could accept.
+        machines_used: Number of nodes hosting at least one job.
+        node_reports: Per-used-node (qos_met, mean normalized BG perf or
+            None); filled by policies that verify placements online.
+    """
+
+    placements: Dict[str, int]
+    rejected: Tuple[str, ...]
+    machines_used: int
+    node_reports: Dict[int, Tuple[bool, Optional[float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def all_qos_met(self) -> bool:
+        return all(qos for qos, _ in self.node_reports.values())
+
+    def mean_bg_performance(self) -> Optional[float]:
+        values = [
+            perf for _, perf in self.node_reports.values() if perf is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)

@@ -1,0 +1,45 @@
+"""CLITE's Bayesian-optimization engine (the paper's contribution)."""
+
+from .acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+)
+from .bootstrap import BootstrapResult, bootstrap_configurations, run_bootstrap
+from .dropout import DropoutCopy, DropoutDecision, job_performance
+from .engine import CLITEConfig, CLITEEngine, CLITEResult, SampleRecord
+from .gp import GaussianProcess
+from .kernels import RBF, Kernel, Matern52, median_lengthscale
+from .optimizer import AcquisitionOptimizer, Candidate, Proposal
+from .score import QOS_MET_THRESHOLD, ScoreFunction, qos_met
+from .termination import EITermination
+
+__all__ = [
+    "AcquisitionFunction",
+    "AcquisitionOptimizer",
+    "BootstrapResult",
+    "CLITEConfig",
+    "CLITEEngine",
+    "CLITEResult",
+    "Candidate",
+    "DropoutCopy",
+    "DropoutDecision",
+    "EITermination",
+    "ExpectedImprovement",
+    "GaussianProcess",
+    "Kernel",
+    "Matern52",
+    "ProbabilityOfImprovement",
+    "Proposal",
+    "QOS_MET_THRESHOLD",
+    "RBF",
+    "SampleRecord",
+    "ScoreFunction",
+    "UpperConfidenceBound",
+    "bootstrap_configurations",
+    "job_performance",
+    "median_lengthscale",
+    "qos_met",
+    "run_bootstrap",
+]

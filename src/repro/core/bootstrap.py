@@ -1,0 +1,81 @@
+"""Bootstrapping configuration samples (Sec. 4).
+
+Instead of random seeding, CLITE constructs an informed initial set:
+
+1. the **equal partition** — every resource divided as evenly as
+   possible among the co-located jobs, a sensible center point;
+2. one **maximum-allocation extremum per job** — that job receives
+   every unit of every resource except the one-unit floor the others
+   keep.  These points (a) anchor the surrogate at the corners of the
+   search space, (b) provide each job's isolated-performance baseline
+   for the Eq. 3 score, and (c) immediately expose LC jobs that cannot
+   meet their QoS even with everything — such jobs should be scheduled
+   elsewhere without wasting any BO cycles.
+
+That is ``n_jobs + 1`` samples, which is also the paper's default
+initial-sample count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..resources.allocation import Configuration, ConfigurationSpace
+from ..server.node import LC_ROLE, Node, Observation
+from .score import ScoreFunction
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of the bootstrap phase.
+
+    Attributes:
+        configs: The configurations sampled, in order (equal partition
+            first, then one maximum-allocation extremum per job).
+        observations: The corresponding (noisy) observations.
+        scores: Eq. 3 score of each observation, after isolation
+            baselines were recorded.
+        infeasible_jobs: Names of LC jobs that violated their QoS even
+            under their own maximum allocation — no partition can save
+            them in this mix.
+    """
+
+    configs: Tuple[Configuration, ...]
+    observations: Tuple[Observation, ...]
+    scores: Tuple[float, ...]
+    infeasible_jobs: Tuple[str, ...]
+
+
+def bootstrap_configurations(space: ConfigurationSpace) -> List[Configuration]:
+    """The informed initial set: equal partition + per-job extrema."""
+    configs = [space.equal_partition()]
+    configs.extend(space.max_allocation(j) for j in range(space.n_jobs))
+    return configs
+
+
+def run_bootstrap(node: Node, score_fn: ScoreFunction) -> BootstrapResult:
+    """Sample the bootstrap set on ``node`` and fill in baselines.
+
+    The per-job extremum observations are recorded as that job's
+    isolated baseline *before* any scores are computed, so every score
+    (including the bootstrap samples' own) uses the same normalization.
+    """
+    configs = bootstrap_configurations(node.space)
+    observations = [node.observe(config) for config in configs]
+
+    infeasible: List[str] = []
+    for job_index, job in enumerate(node.jobs):
+        extremum_obs = observations[1 + job_index]
+        score_fn.record_isolation(job.name, extremum_obs)
+        reading = extremum_obs.job(job.name)
+        if reading.role == LC_ROLE and not reading.qos_met:
+            infeasible.append(job.name)
+
+    scores = tuple(score_fn(obs) for obs in observations)
+    return BootstrapResult(
+        configs=tuple(configs),
+        observations=tuple(observations),
+        scores=scores,
+        infeasible_jobs=tuple(infeasible),
+    )

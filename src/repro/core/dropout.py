@@ -1,0 +1,106 @@
+"""Dropout-copy dimensionality reduction (Sec. 4).
+
+BO degrades in high-dimensional spaces, and a co-location with J jobs
+and R resources has J x R dimensions.  CLITE adapts the "dropout-copy"
+idea: hold some dimensions at the best value sampled so far while
+optimizing the rest.  Instead of dropping *random* dimensions, CLITE
+drops the whole allocation of the **job performing best so far** (met
+or closest to its QoS), pinned to the allocation it performed best
+with.  Exactly one job is dropped — dropping more is known to prevent
+finding the optimum — and a small probability of picking a random job
+instead keeps the choice from locking in early (the paper credits this
+probabilistic factor for CLITE's small residual run-to-run variability,
+Fig. 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..resources.allocation import Configuration
+from ..server.node import LC_ROLE, Node, Observation
+
+
+@dataclass(frozen=True)
+class DropoutDecision:
+    """Which job to pin, and the allocation row to pin it at.
+
+    ``job_index is None`` means no dropout this round (e.g. a
+    single-job node, or dropout disabled).
+    """
+
+    job_index: Optional[int]
+    allocation: Optional[Tuple[int, ...]]
+
+
+def job_performance(observation: Observation, job_name: str) -> float:
+    """A job's scalar performance within one observation, in [0, 1].
+
+    LC jobs report QoS progress ``min(1, target/latency)``; BG jobs
+    report throughput normalized to isolation.
+    """
+    reading = observation.job(job_name)
+    if reading.role == LC_ROLE:
+        if math.isinf(reading.p95_ms):
+            return 0.0
+        return reading.qos_ratio
+    return min(1.0, reading.throughput_norm)
+
+
+class DropoutCopy:
+    """Tracks per-job bests and chooses the job to pin each round.
+
+    Args:
+        random_job_prob: Probability of pinning a uniformly random job
+            instead of the best performer.
+        enabled: Disable to run the no-dropout ablation.
+        rng: Random generator (shared with the engine for determinism).
+    """
+
+    def __init__(
+        self,
+        random_job_prob: float = 0.1,
+        enabled: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0 <= random_job_prob <= 1:
+            raise ValueError(
+                f"random_job_prob must be in [0, 1], got {random_job_prob}"
+            )
+        self.random_job_prob = random_job_prob
+        self.enabled = enabled
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._best_perf: Dict[str, float] = {}
+        self._best_row: Dict[str, Tuple[int, ...]] = {}
+
+    def update(self, config: Configuration, observation: Observation, node: Node) -> None:
+        """Fold one sample into the per-job best-performance records."""
+        for job_index, job in enumerate(node.jobs):
+            perf = job_performance(observation, job.name)
+            if perf >= self._best_perf.get(job.name, -1.0):
+                self._best_perf[job.name] = perf
+                self._best_row[job.name] = config.job_allocation(job_index)
+
+    def best_performance(self, job_name: str) -> Optional[float]:
+        return self._best_perf.get(job_name)
+
+    def choose(self, node: Node) -> DropoutDecision:
+        """Pick the job to pin for the next acquisition optimization."""
+        if not self.enabled or node.n_jobs < 2 or not self._best_perf:
+            return DropoutDecision(None, None)
+        names: Sequence[str] = node.job_names()
+        if self._rng.random() < self.random_job_prob:
+            pick = int(self._rng.integers(node.n_jobs))
+        else:
+            pick = max(
+                range(node.n_jobs),
+                key=lambda i: self._best_perf.get(names[i], -1.0),
+            )
+        row = self._best_row.get(names[pick])
+        if row is None:  # pragma: no cover - update() always fills both maps
+            return DropoutDecision(None, None)
+        return DropoutDecision(job_index=pick, allocation=row)

@@ -1,0 +1,440 @@
+"""Constrained acquisition maximization (Eqs. 4-6).
+
+Each BO iteration must find the partition maximizing the acquisition
+function subject to the allocation constraints: at least one unit of
+every resource per job (Eq. 5) and column sums equal to each resource's
+capacity (Eq. 6).  Following the paper, the continuous relaxation is
+solved with Sequential Least Squares Programming (SLSQP) from multiple
+starts, then projected back onto the integer lattice.  When a
+dropout-copy decision pins one job's allocation, those coordinates are
+frozen via degenerate bounds and the projection preserves the pinned
+row exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..resources.allocation import Configuration, ConfigurationSpace, _round_column
+from .acquisition import AcquisitionFunction, ExpectedImprovement
+from .dropout import DropoutDecision
+from .gp import GaussianProcess
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A proposed next sample with its acquisition value."""
+
+    config: Configuration
+    acquisition_value: float
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """Result of one acquisition-optimization round.
+
+    Attributes:
+        candidates: Unseen configurations ranked by acquisition value,
+            best first.  May be empty if every optimum rounds onto an
+            already-sampled point.
+        max_acquisition: Largest acquisition value over the *continuous*
+            SLSQP optima — the "expected improvement" signal the
+            termination condition watches.  Using the relaxation rather
+            than the rounded lattice points keeps the signal from
+            collapsing just because the optima round onto
+            already-sampled configurations.
+    """
+
+    candidates: Tuple[Candidate, ...]
+    max_acquisition: float
+
+
+class AcquisitionOptimizer:
+    """SLSQP-based maximizer of the acquisition over valid partitions.
+
+    Args:
+        space: The configuration space being searched.
+        acquisition: Acquisition function (default: EI with ζ = 0.01).
+        n_restarts: Number of random multi-start points in addition to
+            the incumbent, the equal partition, and the best points of
+            the screening pool.
+        pool_size: Size of the random screening pool.  The pool is a
+            cheap vectorized EI evaluation over valid lattice points;
+            its best entries both seed SLSQP restarts and stand as
+            candidates themselves, which makes the search robust in the
+            high-dimensional spaces where gradient steps stall.
+        rng: Random generator shared with the engine.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        acquisition: Optional[AcquisitionFunction] = None,
+        n_restarts: int = 8,
+        pool_size: int = 256,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_restarts < 1:
+            raise ValueError("need at least one restart")
+        if pool_size < 0:
+            raise ValueError("pool size must be >= 0")
+        self.space = space
+        self.acquisition = (
+            acquisition if acquisition is not None else ExpectedImprovement()
+        )
+        self.n_restarts = n_restarts
+        self.pool_size = pool_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._spans = np.array(
+            [r.units - space.n_jobs for r in space.spec.resources], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _column_targets(self) -> np.ndarray:
+        """Per-resource sum each cube column must hit (1, or 0 if rigid)."""
+        return (self._spans > 0).astype(float)
+
+    def _constraints(self) -> List[dict]:
+        n_jobs, n_res = self.space.n_jobs, self.space.n_resources
+        targets = self._column_targets()
+        constraints = []
+        for r in range(n_res):
+            idx = [j * n_res + r for j in range(n_jobs)]
+            normal = np.zeros(n_jobs * n_res)
+            normal[idx] = 1.0
+            constraints.append(
+                {
+                    "type": "eq",
+                    "fun": (lambda z, idx=idx, t=targets[r]: np.sum(z[idx]) - t),
+                    # The constraints are linear; handing SLSQP their
+                    # exact normals avoids per-iteration finite
+                    # differencing, which otherwise dominates runtime.
+                    "jac": (lambda z, normal=normal: normal),
+                }
+            )
+        return constraints
+
+    def _bounds(
+        self,
+        dropout: Optional[DropoutDecision],
+        upper_caps: Optional[np.ndarray],
+    ) -> List[Tuple[float, float]]:
+        n_jobs, n_res = self.space.n_jobs, self.space.n_resources
+        bounds: List[Tuple[float, float]] = [(0.0, 1.0)] * (n_jobs * n_res)
+        if upper_caps is not None:
+            for j in range(n_jobs):
+                for r in range(n_res):
+                    if self._spans[r] > 0:
+                        ub = (upper_caps[j, r] - 1.0) / self._spans[r]
+                        bounds[j * n_res + r] = (0.0, min(max(ub, 0.0), 1.0))
+        for r in range(n_res):
+            if self._spans[r] <= 0:  # resource fully pinned by the floor
+                for j in range(n_jobs):
+                    bounds[j * n_res + r] = (0.0, 0.0)
+        if dropout is not None and dropout.job_index is not None:
+            pinned = self._pinned_cube_row(dropout)
+            for r in range(n_res):
+                value = pinned[r]
+                bounds[dropout.job_index * n_res + r] = (value, value)
+        return bounds
+
+    def _repair_caps(
+        self,
+        config: Configuration,
+        upper_caps: Optional[np.ndarray],
+        dropout: Optional[DropoutDecision],
+    ) -> Configuration:
+        """Push units over a job's cap to jobs with headroom.
+
+        The dropout-pinned job is exempt on both sides: its row is
+        neither trimmed nor grown.
+        """
+        if upper_caps is None:
+            return config
+        matrix = config.as_array()
+        pin = dropout.job_index if dropout and dropout.job_index is not None else None
+        n_jobs = self.space.n_jobs
+        for r in range(self.space.n_resources):
+            for j in range(n_jobs):
+                if j == pin:
+                    continue
+                excess = matrix[j, r] - int(upper_caps[j, r])
+                while excess > 0:
+                    headroom = [
+                        k
+                        for k in range(n_jobs)
+                        if k != j
+                        and k != pin
+                        and matrix[k, r] < int(upper_caps[k, r])
+                    ]
+                    if not headroom:
+                        break
+                    target = max(
+                        headroom,
+                        key=lambda k: int(upper_caps[k, r]) - matrix[k, r],
+                    )
+                    matrix[j, r] -= 1
+                    matrix[target, r] += 1
+                    excess -= 1
+        return Configuration.from_matrix(matrix)
+
+    def _pinned_cube_row(self, dropout: DropoutDecision) -> np.ndarray:
+        row = np.asarray(dropout.allocation, dtype=float)
+        cube = np.zeros(self.space.n_resources)
+        positive = self._spans > 0
+        cube[positive] = (row[positive] - 1.0) / self._spans[positive]
+        return cube
+
+    def _project_feasible(
+        self, z: np.ndarray, dropout: Optional[DropoutDecision]
+    ) -> np.ndarray:
+        """Rescale each cube column so the start point satisfies Eq. 6."""
+        n_jobs, n_res = self.space.n_jobs, self.space.n_resources
+        z = z.reshape(n_jobs, n_res).copy()
+        pin = dropout.job_index if dropout and dropout.job_index is not None else None
+        if pin is not None:
+            z[pin] = self._pinned_cube_row(dropout)
+        targets = self._column_targets()
+        for r in range(n_res):
+            if self._spans[r] <= 0:
+                z[:, r] = 0.0
+                continue
+            free = [j for j in range(n_jobs) if j != pin]
+            budget = targets[r] - (z[pin, r] if pin is not None else 0.0)
+            budget = max(budget, 0.0)
+            total = z[free, r].sum()
+            if total <= 0:
+                z[free, r] = budget / len(free)
+            else:
+                z[free, r] *= budget / total
+        return np.clip(z.reshape(-1), 0.0, 1.0)
+
+    def _round(
+        self, z: np.ndarray, dropout: Optional[DropoutDecision]
+    ) -> Configuration:
+        """Project a cube vector onto the lattice, honoring a pinned row."""
+        if dropout is None or dropout.job_index is None:
+            return self.space.from_unit_cube(z)
+        n_jobs, n_res = self.space.n_jobs, self.space.n_resources
+        vec = np.asarray(z, dtype=float).reshape(n_jobs, n_res)
+        pin = dropout.job_index
+        matrix = np.empty((n_jobs, n_res), dtype=int)
+        free = [j for j in range(n_jobs) if j != pin]
+        for r, resource in enumerate(self.space.spec.resources):
+            pinned_units = int(dropout.allocation[r])
+            remaining = resource.units - pinned_units
+            if remaining < len(free):
+                # The pinned row is too greedy for this column; shrink it.
+                pinned_units = resource.units - len(free)
+                remaining = len(free)
+            matrix[pin, r] = pinned_units
+            if free:
+                weights = np.clip(vec[free, r], 0.0, 1.0)
+                matrix[free, r] = _round_column(weights, remaining)
+        return Configuration.from_matrix(matrix)
+
+    # ------------------------------------------------------------------
+    # Pure exploitation: greedy walk on the posterior mean
+    # ------------------------------------------------------------------
+    def propose_exploit(
+        self,
+        gp: GaussianProcess,
+        incumbent: Configuration,
+        sampled: Set[Tuple[int, ...]],
+        upper_caps: Optional[np.ndarray] = None,
+        max_steps: int = 25,
+    ) -> Proposal:
+        """Hill-climb the GP mean from the incumbent via unit transfers.
+
+        One observation of the walk's endpoint can advance the
+        partition by many units at once, which is how the post-QoS
+        "reshuffle resources toward the BG jobs" phase converges in a
+        handful of samples instead of one unit per window.
+        """
+        current = incumbent
+        (current_mean,), _ = gp.predict(
+            self.space.to_unit_cube(current)[None, :]
+        )
+        best_unseen: Optional[Tuple[Configuration, float]] = None
+        for _ in range(max_steps):
+            neighbors = [
+                self._repair_caps(n, upper_caps, None)
+                for n in self.space.neighbors(current)
+            ]
+            neighbors = [n for n in neighbors if n.flat() != current.flat()]
+            if not neighbors:
+                break
+            cube = np.array([self.space.to_unit_cube(n) for n in neighbors])
+            means, _ = gp.predict(cube)
+            step = int(np.argmax(means))
+            if means[step] <= current_mean + 1e-12:
+                break
+            current, current_mean = neighbors[step], float(means[step])
+            if current.flat() not in sampled and (
+                best_unseen is None or current_mean > best_unseen[1]
+            ):
+                best_unseen = (current, current_mean)
+        if best_unseen is None:
+            return Proposal(candidates=(), max_acquisition=0.0)
+        config, mean = best_unseen
+        return Proposal(
+            candidates=(Candidate(config=config, acquisition_value=mean),),
+            max_acquisition=mean,
+        )
+
+    # ------------------------------------------------------------------
+    # The optimization itself
+    # ------------------------------------------------------------------
+    def _start_points(
+        self,
+        incumbent: Optional[Configuration],
+        dropout: Optional[DropoutDecision],
+    ) -> List[np.ndarray]:
+        starts = [self.space.to_unit_cube(self.space.equal_partition())]
+        if incumbent is not None:
+            starts.append(self.space.to_unit_cube(incumbent))
+        for _ in range(self.n_restarts):
+            starts.append(self.space.to_unit_cube(self.space.random(self._rng)))
+        return [self._project_feasible(z, dropout) for z in starts]
+
+    def propose(
+        self,
+        gp: GaussianProcess,
+        best_score: float,
+        sampled: Set[Tuple[int, ...]],
+        incumbent: Optional[Configuration] = None,
+        dropout: Optional[DropoutDecision] = None,
+        upper_caps: Optional[np.ndarray] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+    ) -> Proposal:
+        """Maximize the acquisition and return ranked unseen candidates.
+
+        Args:
+            gp: The fitted surrogate.
+            best_score: Incumbent objective score (Eq. 2's ``x̂``).
+            sampled: Flattened unit tuples of already-sampled configs.
+            incumbent: Best configuration so far (used as a start).
+            dropout: Optional dropout-copy pin for this round.
+            upper_caps: Optional ``(n_jobs, n_resources)`` per-job unit
+                caps — the paper's "constrained execution" pruning of
+                likely-to-be-sub-optimal partitions (Eqs. 4-6 with
+                individual per-job, per-resource constraints).
+            acquisition: One-off acquisition override for this round
+                (the engine uses it for pure-exploitation rounds).
+        """
+        acq_fn = acquisition if acquisition is not None else self.acquisition
+
+        def negative_acq(z: np.ndarray) -> float:
+            mean, std = gp.predict(z[None, :])
+            return -float(acq_fn(mean, std, best_score)[0])
+
+        def negative_acq_grad(z: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+            # One batched GP predict per gradient instead of d+1
+            # single-point calls; this is where SLSQP spends its time.
+            points = np.vstack([z, z + eps * np.eye(len(z))])
+            mean, std = gp.predict(points)
+            values = -acq_fn(mean, std, best_score)
+            return (values[1:] - values[0]) / eps
+
+        # Stage 1: screen a pool of valid lattice points — random samples
+        # for coverage plus the incumbent's single-unit-transfer
+        # neighborhood, which is where the post-QoS "reshuffle resources
+        # toward the BG jobs" refinement happens.  With dropout the
+        # random samples are re-projected so the pinned row holds.
+        pool_configs: List[Configuration] = []
+        if self.pool_size:
+            for _ in range(self.pool_size):
+                config = self.space.random(self._rng)
+                if dropout is not None and dropout.job_index is not None:
+                    config = self._round(
+                        self.space.to_unit_cube(config), dropout
+                    )
+                pool_configs.append(self._repair_caps(config, upper_caps, dropout))
+        if incumbent is not None:
+            for neighbor in self.space.neighbors(incumbent):
+                if dropout is not None and dropout.job_index is not None:
+                    neighbor = self._round(
+                        self.space.to_unit_cube(neighbor), dropout
+                    )
+                pool_configs.append(
+                    self._repair_caps(neighbor, upper_caps, dropout)
+                )
+            # Line-search candidates: blends between the incumbent and
+            # each job's maximum-allocation extremum.  These cut across
+            # the resource-equivalence ridges (e.g. "shift everything
+            # spare toward the BG job") that single-unit moves cross
+            # only one step per sample.
+            z_inc = self.space.to_unit_cube(incumbent)
+            for j in range(self.space.n_jobs):
+                z_ext = self.space.to_unit_cube(self.space.max_allocation(j))
+                for t in (0.25, 0.5, 0.75):
+                    blend = self._round((1 - t) * z_inc + t * z_ext, dropout)
+                    pool_configs.append(
+                        self._repair_caps(blend, upper_caps, dropout)
+                    )
+        if pool_configs:
+            pool_cube = np.array(
+                [self.space.to_unit_cube(c) for c in pool_configs]
+            )
+            mean, std = gp.predict(pool_cube)
+            pool_acq = acq_fn(mean, std, best_score)
+            top = np.argsort(-pool_acq)[: max(self.n_restarts // 2, 2)]
+        else:
+            pool_cube = np.empty((0, self.space.n_dims))
+            pool_acq = np.empty(0)
+            top = np.empty(0, dtype=int)
+
+        # Stage 2: SLSQP from informed starts plus the pool's best.
+        bounds = self._bounds(dropout, upper_caps)
+        constraints = self._constraints()
+        starts = self._start_points(incumbent, dropout)
+        starts.extend(pool_cube[i] for i in top)
+        solutions: List[np.ndarray] = []
+        for x0 in starts:
+            result = minimize(
+                negative_acq,
+                x0,
+                jac=negative_acq_grad,
+                method="SLSQP",
+                bounds=bounds,
+                constraints=constraints,
+                options={"maxiter": 40, "ftol": 1e-8},
+            )
+            solutions.append(result.x if result.success else x0)
+
+        best_by_config: dict = {}
+
+        def consider(config: Configuration, value: float) -> None:
+            key = config.flat()
+            if key in sampled:
+                return
+            if key not in best_by_config or value > best_by_config[key][1]:
+                best_by_config[key] = (config, value)
+
+        max_acq = 0.0
+        for z in solutions:
+            max_acq = max(max_acq, -negative_acq(np.clip(z, 0.0, 1.0)))
+            config = self._repair_caps(
+                self._round(np.clip(z, 0.0, 1.0), dropout), upper_caps, dropout
+            )
+            cube = self.space.to_unit_cube(config)
+            mean, std = gp.predict(cube[None, :])
+            value = float(acq_fn(mean, std, best_score)[0])
+            consider(config, value)
+        for config, value in zip(pool_configs, pool_acq):
+            max_acq = max(max_acq, float(value))
+            consider(config, float(value))
+
+        ranked = sorted(
+            best_by_config.values(), key=lambda pair: pair[1], reverse=True
+        )
+        candidates = tuple(
+            Candidate(config=c, acquisition_value=v) for c, v in ranked
+        )
+        return Proposal(candidates=candidates, max_acquisition=max_acq)

@@ -1,0 +1,117 @@
+"""The CLITE objective-score function (Eq. 3).
+
+CLITE cannot feed BO a raw "throughput" number because its objective is
+a *set* of goals: meet every LC job's QoS, then maximize BG performance.
+Eq. 3 folds these into one smooth scalar in [0, 1]:
+
+* **mode 1** — some LC job misses its QoS: half the geometric mean of
+  each LC job's QoS progress ``min(1, target / latency)``.  Never
+  exceeds 0.5, and rises smoothly as jobs get closer to their targets
+  (the paper stresses that a flat 0-for-violation score would strand
+  the search).
+* **mode 2** — every LC job meets QoS: ``0.5 + 0.5 x`` the geometric
+  mean of each BG job's throughput normalized to its isolated
+  performance (sampled during the bootstrap phase).  With no BG jobs
+  co-located, LC latency improvement relative to isolation takes the
+  BG term's place, so CLITE keeps optimizing past the QoS bar.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from ..server.node import BG_ROLE, JobObservation, Observation
+
+#: Scores live in [0, 1]; QoS-meeting configurations score above this.
+QOS_MET_THRESHOLD = 0.5
+
+
+def _geometric_mean(factors: Iterable[float]) -> float:
+    values = list(factors)
+    if not values:
+        raise ValueError("geometric mean of an empty set")
+    if any(v < 0 for v in values):
+        raise ValueError(f"factors must be >= 0, got {values}")
+    if any(v == 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class ScoreFunction:
+    """Eq. 3, with isolation baselines learned from bootstrap samples.
+
+    The controller measures each job's isolated performance once, from
+    the per-job maximum-allocation bootstrap configurations (Sec. 4);
+    those readings become the ``Iso-Perf`` denominators here.  Nothing
+    model-internal leaks in: only observed counter readings are used.
+    """
+
+    def __init__(self) -> None:
+        self._iso_bg_perf: Dict[str, float] = {}
+        self._iso_lc_latency: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Baselines
+    # ------------------------------------------------------------------
+    def record_isolation(self, job_name: str, observation: Observation) -> None:
+        """Record ``job_name``'s reading as its isolated baseline.
+
+        Call with the observation of the bootstrap configuration that
+        gave ``job_name`` the maximum allocation.
+        """
+        reading = observation.job(job_name)
+        if reading.role == BG_ROLE:
+            if reading.throughput_norm > 0:
+                self._iso_bg_perf[job_name] = reading.throughput_norm
+        elif math.isfinite(reading.p95_ms) and reading.p95_ms > 0:
+            self._iso_lc_latency[job_name] = reading.p95_ms
+
+    def iso_bg_perf(self, job_name: str) -> Optional[float]:
+        return self._iso_bg_perf.get(job_name)
+
+    def iso_lc_latency(self, job_name: str) -> Optional[float]:
+        return self._iso_lc_latency.get(job_name)
+
+    # ------------------------------------------------------------------
+    # Eq. 3
+    # ------------------------------------------------------------------
+    def _qos_progress(self, job: JobObservation) -> float:
+        """``min(1, target / latency)`` — 0 for a saturated queue."""
+        if math.isinf(job.p95_ms):
+            return 0.0
+        return job.qos_ratio
+
+    def _bg_performance(self, job: JobObservation) -> float:
+        """``Colo-Perf / Iso-Perf`` clipped to [0, 1]."""
+        baseline = self._iso_bg_perf.get(job.name, 1.0)
+        return min(1.0, job.throughput_norm / baseline)
+
+    def _lc_performance(self, job: JobObservation) -> float:
+        """``Iso-Latency / Colo-Latency`` clipped to [0, 1] (no-BG mode)."""
+        if math.isinf(job.p95_ms) or job.p95_ms <= 0:
+            return 0.0
+        baseline = self._iso_lc_latency.get(job.name, job.qos_target_ms)
+        return min(1.0, baseline / job.p95_ms)
+
+    def __call__(self, observation: Observation) -> float:
+        """Score an observation per Eq. 3; result is in [0, 1]."""
+        lc_jobs = observation.lc_jobs
+        bg_jobs = observation.bg_jobs
+        if not lc_jobs and not bg_jobs:
+            raise ValueError("observation has no jobs to score")
+
+        if lc_jobs and not observation.all_qos_met:
+            return 0.5 * _geometric_mean(
+                self._qos_progress(job) for job in lc_jobs
+            )
+        if bg_jobs:
+            tail = _geometric_mean(self._bg_performance(job) for job in bg_jobs)
+        else:
+            tail = _geometric_mean(self._lc_performance(job) for job in lc_jobs)
+        return 0.5 + 0.5 * tail
+
+
+def qos_met(score: float) -> bool:
+    """Whether a score implies every LC job met QoS (mode 2 of Eq. 3)."""
+    return score >= QOS_MET_THRESHOLD

@@ -1,0 +1,94 @@
+"""Experiment harness: mixes, runners, sweeps, traces, reports."""
+
+from .ablation import AblationOutcome, run_ablation, standard_variants
+from .colocation import (
+    DEFAULT_LOADS,
+    LoadGrid,
+    bg_performance_grid,
+    max_load_grid,
+    max_supported_load,
+)
+from .dynamic import DynamicEvent, DynamicTrace, run_dynamic
+from .io import (
+    grid_from_dict,
+    grid_to_dict,
+    load_grid,
+    load_json,
+    save_grid,
+    save_json,
+    trial_to_dict,
+)
+from .overhead import OverheadRow, overhead_table
+from .qos_regions import (
+    QoSRegion,
+    coordinate_descent_reaches,
+    overlap_region,
+    qos_region,
+)
+from .report import format_heatmap, format_series, format_table
+from .runner import (
+    STANDARD_POLICIES,
+    PolicyFactory,
+    TrialResult,
+    isolated_lc_latencies,
+    run_policies,
+    run_trial,
+)
+from .spec import MixSpec
+from .traces import (
+    AllocationSnapshot,
+    allocation_series,
+    allocation_snapshot,
+    best_bg_performance_series,
+    first_qos_met_sample,
+    per_job_performance,
+    qos_met_series,
+)
+from .variability import run_repeats, trial_performance, variability_percent
+
+__all__ = [
+    "AblationOutcome",
+    "AllocationSnapshot",
+    "DEFAULT_LOADS",
+    "DynamicEvent",
+    "DynamicTrace",
+    "LoadGrid",
+    "MixSpec",
+    "OverheadRow",
+    "PolicyFactory",
+    "QoSRegion",
+    "STANDARD_POLICIES",
+    "TrialResult",
+    "allocation_series",
+    "allocation_snapshot",
+    "best_bg_performance_series",
+    "bg_performance_grid",
+    "coordinate_descent_reaches",
+    "first_qos_met_sample",
+    "format_heatmap",
+    "grid_from_dict",
+    "grid_to_dict",
+    "load_grid",
+    "load_json",
+    "save_grid",
+    "save_json",
+    "trial_to_dict",
+    "format_series",
+    "format_table",
+    "isolated_lc_latencies",
+    "max_load_grid",
+    "max_supported_load",
+    "overhead_table",
+    "overlap_region",
+    "per_job_performance",
+    "qos_met_series",
+    "qos_region",
+    "run_ablation",
+    "run_dynamic",
+    "run_policies",
+    "run_repeats",
+    "run_trial",
+    "standard_variants",
+    "trial_performance",
+    "variability_percent",
+]

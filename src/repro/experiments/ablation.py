@@ -1,0 +1,110 @@
+"""Reusable ablation sweeps over CLITE's design choices.
+
+DESIGN.md calls out the Sec. 4 mechanisms worth ablating — kernel,
+acquisition, bootstrap, dropout, constrained execution, refinement.
+This module turns "run a set of engine variants over mixes and seeds,
+aggregate ground-truth outcomes" into a first-class API, so studies
+beyond the bundled bench (new mixes, new variants) are one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.acquisition import ProbabilityOfImprovement, UpperConfidenceBound
+from ..core.engine import CLITEConfig
+from ..core.kernels import RBF
+from ..schedulers.clite import CLITEPolicy
+from ..server.node import NodeBudget
+from .runner import run_trial
+from .spec import MixSpec
+
+
+@dataclass(frozen=True)
+class AblationOutcome:
+    """Aggregated ground truth for one engine variant.
+
+    Attributes:
+        variant: Variant label.
+        qos_rate: Fraction of (mix, seed) trials whose chosen partition
+            truly met every LC job's QoS.
+        mean_performance: Mean of each trial's headline metric (mean BG
+            performance when the mix has BG jobs, else mean LC
+            performance), with QoS-violating trials scored 0.
+        mean_samples: Mean observation windows consumed.
+    """
+
+    variant: str
+    qos_rate: float
+    mean_performance: float
+    mean_samples: float
+
+
+def standard_variants(base: Optional[CLITEConfig] = None) -> Dict[str, CLITEConfig]:
+    """The DESIGN.md ablation set, derived from ``base``."""
+    base = base if base is not None else CLITEConfig()
+    return {
+        "full CLITE": base,
+        "RBF kernel": replace(base, kernel=RBF()),
+        "PI acquisition": replace(base, acquisition=ProbabilityOfImprovement()),
+        "UCB acquisition": replace(base, acquisition=UpperConfidenceBound()),
+        "random bootstrap": replace(base, informed_bootstrap=False),
+        "no dropout": replace(base, dropout_enabled=False),
+        "no constrained execution": replace(base, constrained_execution=False),
+        "no refinement": replace(base, refine_budget=0),
+    }
+
+
+def _trial_metric(trial) -> float:
+    if not trial.qos_met:
+        return 0.0
+    if trial.bg_performance:
+        return trial.mean_bg_performance
+    return trial.mean_lc_performance
+
+
+def run_ablation(
+    variants: Dict[str, CLITEConfig],
+    mixes: Sequence[MixSpec],
+    seeds: Sequence[int] = (0, 1),
+    budget: Optional[NodeBudget] = None,
+) -> Tuple[AblationOutcome, ...]:
+    """Run every variant on every (mix, seed) and aggregate outcomes.
+
+    Returns outcomes in the variants' insertion order, so the first row
+    is the reference configuration.
+    """
+    if not variants:
+        raise ValueError("need at least one variant")
+    if not mixes:
+        raise ValueError("need at least one mix")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    budget = budget or NodeBudget()
+    outcomes = []
+    for name, config in variants.items():
+        perfs = []
+        qos = 0
+        samples = 0
+        for mix in mixes:
+            for seed in seeds:
+                trial = run_trial(
+                    mix,
+                    CLITEPolicy(config=replace(config, seed=seed)),
+                    seed=seed,
+                    budget=budget,
+                )
+                qos += trial.qos_met
+                perfs.append(_trial_metric(trial))
+                samples += trial.samples
+        n = len(mixes) * len(seeds)
+        outcomes.append(
+            AblationOutcome(
+                variant=name,
+                qos_rate=qos / n,
+                mean_performance=sum(perfs) / n,
+                mean_samples=samples / n,
+            )
+        )
+    return tuple(outcomes)

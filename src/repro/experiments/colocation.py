@@ -1,0 +1,149 @@
+"""Maximum-supported-load searches — the Figs. 7, 8, and 12 protocol.
+
+The paper's co-location heatmaps ask, for a grid of loads of two LC
+jobs, how much load a third (target) job can carry without any QoS
+violation under a given policy; and, for Fig. 12, how much performance
+a BG job retains across a load grid.  This module implements both
+sweeps on top of the trial runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..server.node import NodeBudget
+from .runner import PolicyFactory, run_trial
+from .spec import MixSpec
+
+#: The paper's 10%-step load axis.
+DEFAULT_LOADS: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+@dataclass(frozen=True)
+class LoadGrid:
+    """A heatmap of results over a (row job load) x (col job load) grid.
+
+    ``cells[i][j]`` corresponds to ``row_loads[i]`` and ``col_loads[j]``;
+    ``None`` marks an infeasible cell (the paper's ``X``).
+    """
+
+    row_job: str
+    col_job: str
+    row_loads: Tuple[float, ...]
+    col_loads: Tuple[float, ...]
+    cells: Tuple[Tuple[Optional[float], ...], ...]
+    policy: str
+
+    def cell(self, i: int, j: int) -> Optional[float]:
+        return self.cells[i][j]
+
+
+def max_supported_load(
+    mix: MixSpec,
+    target_job: str,
+    policy_factory: PolicyFactory,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    seed: Optional[int] = 0,
+    budget: Optional[NodeBudget] = None,
+) -> Optional[float]:
+    """Highest load of ``target_job`` the policy can support in ``mix``.
+
+    Walks the load axis upward and stops at the first level whose trial
+    violates QoS (the paper's heatmaps are built the same way: a row's
+    supported load does not recover once lost).  Returns ``None`` when
+    even the lowest level fails.
+    """
+    best: Optional[float] = None
+    for load in loads:
+        trial = run_trial(
+            mix.with_lc_load(target_job, load),
+            policy_factory(seed),
+            seed=seed,
+            budget=budget,
+        )
+        if not trial.qos_met:
+            break
+        best = load
+    return best
+
+
+def max_load_grid(
+    base_mix: MixSpec,
+    row_job: str,
+    col_job: str,
+    target_job: str,
+    policy_factory: PolicyFactory,
+    policy_name: str,
+    row_loads: Sequence[float] = DEFAULT_LOADS,
+    col_loads: Sequence[float] = DEFAULT_LOADS,
+    target_loads: Sequence[float] = DEFAULT_LOADS,
+    seed: Optional[int] = 0,
+    budget: Optional[NodeBudget] = None,
+) -> LoadGrid:
+    """The Figs. 7/8 heatmap: max target-job load per (row, col) loads."""
+    cells = []
+    for row_load in row_loads:
+        row = []
+        for col_load in col_loads:
+            mix = base_mix.with_lc_load(row_job, row_load).with_lc_load(
+                col_job, col_load
+            )
+            row.append(
+                max_supported_load(
+                    mix,
+                    target_job,
+                    policy_factory,
+                    loads=target_loads,
+                    seed=seed,
+                    budget=budget,
+                )
+            )
+        cells.append(tuple(row))
+    return LoadGrid(
+        row_job=row_job,
+        col_job=col_job,
+        row_loads=tuple(row_loads),
+        col_loads=tuple(col_loads),
+        cells=tuple(cells),
+        policy=policy_name,
+    )
+
+
+def bg_performance_grid(
+    base_mix: MixSpec,
+    row_job: str,
+    col_job: str,
+    bg_job: str,
+    policy_factory: PolicyFactory,
+    policy_name: str,
+    row_loads: Sequence[float] = DEFAULT_LOADS,
+    col_loads: Sequence[float] = DEFAULT_LOADS,
+    seed: Optional[int] = 0,
+    budget: Optional[NodeBudget] = None,
+) -> LoadGrid:
+    """The Fig. 12 heatmap: normalized BG performance per load cell.
+
+    Cells where the policy cannot meet every LC QoS are ``None``.
+    """
+    cells = []
+    for row_load in row_loads:
+        row = []
+        for col_load in col_loads:
+            mix = base_mix.with_lc_load(row_job, row_load).with_lc_load(
+                col_job, col_load
+            )
+            trial = run_trial(mix, policy_factory(seed), seed=seed, budget=budget)
+            if trial.qos_met:
+                row.append(trial.bg_performance[bg_job])
+            else:
+                row.append(None)
+        cells.append(tuple(row))
+    return LoadGrid(
+        row_job=row_job,
+        col_job=col_job,
+        row_loads=tuple(row_loads),
+        col_loads=tuple(col_loads),
+        cells=tuple(cells),
+        policy=policy_name,
+    )

@@ -1,0 +1,107 @@
+"""Dynamic load adaptation — the Fig. 16 scenario.
+
+An LC job's load steps up over time; CLITE's converged partition is
+monitored, the load change triggers re-invocation, and a new partition
+is searched and enacted.  The trace records every observation window,
+so the figure's time series — per-job allocations shifting, the BG
+job's performance dipping during re-exploration and stabilizing lower
+as the LC job's demand grows — can be read straight off it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.engine import CLITEConfig, CLITEEngine
+from ..resources.spec import ServerSpec, default_server
+from ..server.monitor import QoSMonitor, Trigger
+from ..server.node import Observation
+from .spec import MixSpec
+
+
+@dataclass(frozen=True)
+class DynamicEvent:
+    """One observation window in the dynamic timeline."""
+
+    time_s: float
+    observation: Observation
+    phase: str  # "optimize", "monitor", or "reoptimize"
+
+
+@dataclass(frozen=True)
+class DynamicTrace:
+    """Everything that happened during a dynamic-load run."""
+
+    events: Tuple[DynamicEvent, ...]
+    reinvocations: Tuple[float, ...]  # times at which re-optimization began
+
+    def bg_series(self, bg_job: str) -> List[Tuple[float, float]]:
+        """(time, normalized throughput) of one BG job."""
+        return [
+            (e.time_s, e.observation.job(bg_job).throughput_norm)
+            for e in self.events
+        ]
+
+    def allocation_series(
+        self, job_index: int, resource_index: int
+    ) -> List[Tuple[float, int]]:
+        """(time, units) of one job's allocation of one resource."""
+        return [
+            (e.time_s, e.observation.config.get(job_index, resource_index))
+            for e in self.events
+        ]
+
+    def load_series(self, lc_job: str) -> List[Tuple[float, float]]:
+        """(time, load fraction) of one LC job."""
+        return [
+            (e.time_s, e.observation.job(lc_job).load_fraction)
+            for e in self.events
+        ]
+
+
+def run_dynamic(
+    mix: MixSpec,
+    total_time_s: float,
+    server: Optional[ServerSpec] = None,
+    engine_config: Optional[CLITEConfig] = None,
+    seed: Optional[int] = 0,
+    load_change_threshold: float = 0.05,
+) -> DynamicTrace:
+    """Run CLITE with monitoring and re-invocation until ``total_time_s``.
+
+    The mix's LC jobs may carry :class:`LoadSchedule`s; the node's
+    simulated clock advances one observation window per sample, so the
+    schedule plays out in (simulated) real time.
+    """
+    if total_time_s <= 0:
+        raise ValueError("total_time_s must be positive")
+    server = server or default_server()
+    node = mix.build_node(server=server, seed=seed)
+    config = engine_config or CLITEConfig(seed=seed)
+
+    events: List[DynamicEvent] = []
+    reinvocations: List[float] = []
+
+    def record(phase: str, since_index: int) -> int:
+        for obs in node.history[since_index:]:
+            events.append(DynamicEvent(obs.time_s, obs, phase))
+        return len(node.history)
+
+    result = CLITEEngine(node, config).optimize()
+    cursor = record("optimize", 0)
+    best = result.best_config
+
+    monitor = QoSMonitor(node, load_change_threshold=load_change_threshold)
+    while node.clock_s < total_time_s:
+        report = monitor.check(best)
+        cursor = record("monitor", cursor)
+        if report.trigger is not Trigger.NONE:
+            reinvocations.append(node.clock_s)
+            result = CLITEEngine(node, config).optimize()
+            cursor = record("reoptimize", cursor)
+            best = result.best_config
+            monitor = QoSMonitor(
+                node, load_change_threshold=load_change_threshold
+            )
+    return DynamicTrace(events=tuple(events), reinvocations=tuple(reinvocations))

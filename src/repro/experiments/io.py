@@ -1,0 +1,98 @@
+"""JSON persistence for experiment artifacts.
+
+Grid sweeps and policy traces are expensive to regenerate, so the
+harness can serialize them: a :class:`~repro.experiments.colocation.
+LoadGrid` or a trial summary round-trips through plain JSON that other
+tools (plotting notebooks, dashboards) can consume without importing
+this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .colocation import LoadGrid
+from .runner import TrialResult
+
+PathLike = Union[str, Path]
+
+
+def grid_to_dict(grid: LoadGrid) -> dict:
+    """A JSON-ready representation of a load/performance grid."""
+    return {
+        "kind": "load_grid",
+        "policy": grid.policy,
+        "row_job": grid.row_job,
+        "col_job": grid.col_job,
+        "row_loads": list(grid.row_loads),
+        "col_loads": list(grid.col_loads),
+        "cells": [list(row) for row in grid.cells],
+    }
+
+
+def grid_from_dict(data: dict) -> LoadGrid:
+    """Rebuild a :class:`LoadGrid` from :func:`grid_to_dict` output."""
+    if data.get("kind") != "load_grid":
+        raise ValueError(f"not a load_grid payload: {data.get('kind')!r}")
+    return LoadGrid(
+        policy=data["policy"],
+        row_job=data["row_job"],
+        col_job=data["col_job"],
+        row_loads=tuple(data["row_loads"]),
+        col_loads=tuple(data["col_loads"]),
+        cells=tuple(
+            tuple(None if v is None else float(v) for v in row)
+            for row in data["cells"]
+        ),
+    )
+
+
+def trial_to_dict(trial: TrialResult) -> dict:
+    """A JSON-ready summary of one trial (no raw observations).
+
+    Keeps what the paper's figures consume: the mix, the chosen
+    partition, ground-truth per-job metrics, and sampling costs.
+    """
+    best = trial.result.best_config
+    return {
+        "kind": "trial",
+        "policy": trial.policy,
+        "mix": {
+            "lc": [
+                [name, load if isinstance(load, float) else "dynamic"]
+                for name, load in trial.mix.lc
+            ],
+            "bg": list(trial.mix.bg),
+        },
+        "seed": trial.seed,
+        "qos_met": trial.qos_met,
+        "lc_performance": dict(trial.lc_performance),
+        "bg_performance": dict(trial.bg_performance),
+        "samples": trial.samples,
+        "evaluations": trial.evaluations,
+        "best_config": None if best is None else [list(r) for r in best.units],
+        "converged": trial.result.converged,
+        "infeasible_jobs": list(trial.result.infeasible_jobs),
+    }
+
+
+def save_json(payload: dict, path: PathLike) -> None:
+    """Write one artifact dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: PathLike) -> dict:
+    """Read one artifact dict back from disk."""
+    return json.loads(Path(path).read_text())
+
+
+def save_grid(grid: LoadGrid, path: PathLike) -> None:
+    """Serialize a :class:`LoadGrid` to a JSON file."""
+    save_json(grid_to_dict(grid), path)
+
+
+def load_grid(path: PathLike) -> LoadGrid:
+    """Deserialize a :class:`LoadGrid` written by :func:`save_grid`."""
+    return grid_from_dict(load_json(path))

@@ -1,0 +1,62 @@
+"""Sampling-overhead comparison across job-mix sizes (Fig. 15a).
+
+Every scheme's cost is the number of configurations it must run before
+settling: RAND+ and GENETIC spend a preset budget, PARTIES stops at the
+first QoS-meeting partition, CLITE samples until its EI termination
+fires, and ORACLE's offline sweep is orders of magnitude beyond all of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..server.node import NodeBudget
+from .runner import PolicyFactory, run_trial
+from .spec import MixSpec
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Average sampling cost of one policy on one mix."""
+
+    policy: str
+    mix_label: str
+    n_lc: int
+    n_bg: int
+    mean_samples: float
+    mean_evaluations: float
+    qos_success_rate: float
+
+
+def overhead_table(
+    mixes: Sequence[MixSpec],
+    policies: Dict[str, PolicyFactory],
+    seeds: Sequence[int] = (0, 1, 2),
+    budget: Optional[NodeBudget] = None,
+) -> Tuple[OverheadRow, ...]:
+    """Fig. 15(a): per-policy average sample counts over several mixes."""
+    rows = []
+    for mix in mixes:
+        for name, factory in policies.items():
+            trial_seeds: Sequence[Optional[int]] = (
+                seeds if name != "ORACLE" else seeds[:1]
+            )
+            trials = [
+                run_trial(mix, factory(seed), seed=seed, budget=budget)
+                for seed in trial_seeds
+            ]
+            rows.append(
+                OverheadRow(
+                    policy=name,
+                    mix_label=mix.label(),
+                    n_lc=len(mix.lc),
+                    n_bg=len(mix.bg),
+                    mean_samples=sum(t.samples for t in trials) / len(trials),
+                    mean_evaluations=sum(t.evaluations for t in trials)
+                    / len(trials),
+                    qos_success_rate=sum(t.qos_met for t in trials) / len(trials),
+                )
+            )
+    return tuple(rows)

@@ -1,0 +1,157 @@
+"""QoS-safe regions and the coordinate-descent counterexample (Figs. 1-2).
+
+Fig. 1 plots, for one LC workload, which (resource A, resource B)
+allocations meet its QoS — the curved frontier demonstrates the
+"resource equivalence class" property (16 cores with 1 way ~ 14 cores
+with 6 ways).  Fig. 2 overlays two jobs' regions on complementary axes:
+where the regions overlap, co-location is possible, but a coordinate-
+descent walk that changes one resource at a time may never reach the
+overlap from its starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..resources.spec import CORES, ServerSpec, default_server
+from ..workloads.latency import p95_latency_ms
+from ..workloads.tailbench import lc_workload
+
+
+@dataclass(frozen=True)
+class QoSRegion:
+    """Boolean QoS feasibility over a 2-D resource grid for one job.
+
+    ``safe[i][j]`` tells whether allocating ``axis_a_units[i]`` of
+    resource A and ``axis_b_units[j]`` of resource B (everything else
+    fully allocated) meets the workload's QoS at the given load.
+    """
+
+    workload: str
+    load: float
+    resource_a: str
+    resource_b: str
+    axis_a_units: Tuple[int, ...]
+    axis_b_units: Tuple[int, ...]
+    safe: Tuple[Tuple[bool, ...], ...]
+
+    def frontier(self) -> List[Tuple[int, int]]:
+        """Minimal B units that make each A allocation safe (the Fig. 1 curve)."""
+        points = []
+        for i, a_units in enumerate(self.axis_a_units):
+            for j, b_units in enumerate(self.axis_b_units):
+                if self.safe[i][j]:
+                    points.append((a_units, b_units))
+                    break
+        return points
+
+
+def qos_region(
+    workload_name: str,
+    load: float,
+    resource_a: str = CORES,
+    resource_b: str = "llc_ways",
+    server: Optional[ServerSpec] = None,
+) -> QoSRegion:
+    """Compute one workload's QoS-safe region over two resources."""
+    server = server or default_server()
+    workload = lc_workload(workload_name, server)
+    res_a = server.resource(resource_a)
+    res_b = server.resource(resource_b)
+    qps = load * workload.max_qps
+
+    axis_a = tuple(range(1, res_a.units + 1))
+    axis_b = tuple(range(1, res_b.units + 1))
+    safe_rows = []
+    for a_units in axis_a:
+        row = []
+        for b_units in axis_b:
+            shares = {r.name: 1.0 for r in server.resources}
+            shares[resource_a] = a_units / res_a.units
+            shares[resource_b] = b_units / res_b.units
+            cores = a_units if resource_a == CORES else server.resource(CORES).units
+            if resource_b == CORES:
+                cores = b_units
+            latency = p95_latency_ms(workload, qps, cores, shares)
+            row.append(bool(latency <= workload.qos_latency_ms))
+        safe_rows.append(tuple(row))
+    return QoSRegion(
+        workload=workload_name,
+        load=load,
+        resource_a=resource_a,
+        resource_b=resource_b,
+        axis_a_units=axis_a,
+        axis_b_units=axis_b,
+        safe=tuple(safe_rows),
+    )
+
+
+def overlap_region(region_a: QoSRegion, region_b: QoSRegion) -> np.ndarray:
+    """Fig. 2's overlap: A takes (i, j); B gets the complement.
+
+    ``overlap[i][j]`` is True when giving job A ``i+1`` units of
+    resource A and ``j+1`` of resource B leaves enough of both for job
+    B to meet its own QoS (both regions safe simultaneously).
+    """
+    if (
+        region_a.resource_a != region_b.resource_a
+        or region_a.resource_b != region_b.resource_b
+    ):
+        raise ValueError("regions must be over the same resource pair")
+    n_a = len(region_a.axis_a_units)
+    n_b = len(region_a.axis_b_units)
+    overlap = np.zeros((n_a, n_b), dtype=bool)
+    for i in range(n_a):
+        for j in range(n_b):
+            rem_a = n_a - (i + 1)  # units of resource A left for job B
+            rem_b = n_b - (j + 1)
+            if rem_a < 1 or rem_b < 1:
+                continue
+            overlap[i, j] = (
+                region_a.safe[i][j] and region_b.safe[rem_a - 1][rem_b - 1]
+            )
+    return overlap
+
+
+def coordinate_descent_reaches(
+    overlap: np.ndarray, start: Tuple[int, int]
+) -> bool:
+    """Can a one-axis-at-a-time walk from ``start`` reach the overlap?
+
+    Models the Fig. 2 argument: the walk may only move parallel to an
+    axis and only through cells where it can evaluate progress; it
+    reaches the overlap iff some safe cell shares a row or column with
+    the start (a single coordinate move away), or a chain of such moves
+    exists through intermediate safe cells.
+    """
+    if overlap.dtype != bool:
+        raise ValueError("overlap must be a boolean grid")
+    n_a, n_b = overlap.shape
+    i0, j0 = start
+    if not (0 <= i0 < n_a and 0 <= j0 < n_b):
+        raise IndexError(f"start {start} outside the {overlap.shape} grid")
+    if not overlap.any():
+        return False
+    # Breadth-first search over axis-aligned moves; intermediate cells
+    # must be safe for the walk to "see" progress and keep going.
+    from collections import deque
+
+    queue = deque([(i0, j0)])
+    visited = {(i0, j0)}
+    while queue:
+        i, j = queue.popleft()
+        if overlap[i, j]:
+            return True
+        for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ni, nj = i + di, j + dj
+            if 0 <= ni < n_a and 0 <= nj < n_b and (ni, nj) not in visited:
+                visited.add((ni, nj))
+                # The walk can always probe a neighbor; it continues
+                # *through* it only if the neighbor is safe, but probing
+                # is enough to detect an adjacent safe cell.
+                if overlap[ni, nj] or (ni, nj) == (i0, j0):
+                    queue.append((ni, nj))
+    return False

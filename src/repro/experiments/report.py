@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep that output aligned and
+consistent.  Infeasible cells render as ``X``, matching the figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .colocation import LoadGrid
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], pad: int = 2
+) -> str:
+    """Fixed-width text table; floats render with three decimals."""
+
+    def render(value: object) -> str:
+        if value is None:
+            return "X"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[render(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[c])), max((len(r[c]) for r in cells), default=0))
+        for c in range(len(headers))
+    ]
+    sep = " " * pad
+
+    def line(values: Sequence[str]) -> str:
+        return sep.join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    out = [line([str(h) for h in headers])]
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_heatmap(grid: LoadGrid, as_percent: bool = True) -> str:
+    """Render a LoadGrid the way the paper's heatmaps read.
+
+    Rows are the row job's loads (ascending), columns the column job's
+    loads; ``X`` marks infeasible cells.
+    """
+
+    def render(value: Optional[float]) -> str:
+        if value is None:
+            return "X"
+        return f"{value:.0%}" if as_percent else f"{value:.3f}"
+
+    headers = [f"{grid.row_job}\\{grid.col_job}"] + [
+        f"{c:.0%}" for c in grid.col_loads
+    ]
+    rows: List[List[object]] = []
+    for load, row in zip(grid.row_loads, grid.cells):
+        rows.append([f"{load:.0%}"] + [render(v) for v in row])
+    title = f"[{grid.policy}] max/perf for {grid.row_job} x {grid.col_job}"
+    return title + "\n" + format_table(headers, rows)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[Optional[float]]
+) -> str:
+    """One named (x, y) series as aligned columns."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return name + "\n" + format_table(["x", "y"], rows)

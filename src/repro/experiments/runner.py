@@ -1,0 +1,149 @@
+"""Run policies on mixes and extract ground-truth metrics.
+
+The runner gives every experiment the same shape: build a fresh node
+for a :class:`~repro.experiments.spec.MixSpec`, let a policy search
+within a budget, then judge the chosen partition against the
+simulator's *noise-free* performance — the same way the paper judges a
+controller by what the machine actually did, not by what the controller
+believed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..resources.spec import ServerSpec, default_server
+from ..schedulers import (
+    CLITEPolicy,
+    GeneticPolicy,
+    HeraclesPolicy,
+    OraclePolicy,
+    PartiesPolicy,
+    Policy,
+    PolicyResult,
+    RandomPlusPolicy,
+)
+from ..server.node import BG_ROLE, LC_ROLE, Node, NodeBudget
+from .spec import MixSpec
+
+#: A policy factory: seed -> fresh policy instance.
+PolicyFactory = Callable[[Optional[int]], Policy]
+
+#: The paper's head-to-head lineup (Sec. 5.1).
+STANDARD_POLICIES: Dict[str, PolicyFactory] = {
+    "CLITE": lambda seed: CLITEPolicy(seed=seed),
+    "PARTIES": lambda seed: PartiesPolicy(),
+    "Heracles": lambda seed: HeraclesPolicy(),
+    "RAND+": lambda seed: RandomPlusPolicy(seed=seed),
+    "GENETIC": lambda seed: GeneticPolicy(seed=seed),
+    "ORACLE": lambda seed: OraclePolicy(),
+}
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Ground-truth outcome of one (mix, policy, seed) trial.
+
+    Attributes:
+        policy: Policy name.
+        mix: The scenario that ran.
+        seed: Noise/search seed.
+        result: The policy's own view of its search.
+        qos_met: Whether the chosen partition *truly* meets every QoS.
+        lc_performance: Per-LC-job ``iso_p95 / colo_p95`` (1.0 means
+            as good as isolation; the Fig. 10 metric before
+            ORACLE-normalization).
+        bg_performance: Per-BG-job throughput normalized to isolation
+            (the Figs. 12-14 metric).
+        samples: Online observation windows the policy consumed.
+        evaluations: Total evaluations including offline sweeps.
+    """
+
+    policy: str
+    mix: MixSpec
+    seed: Optional[int]
+    result: PolicyResult
+    qos_met: bool
+    lc_performance: Dict[str, float]
+    bg_performance: Dict[str, float]
+    samples: int
+    evaluations: int
+
+    @property
+    def mean_lc_performance(self) -> float:
+        if not self.lc_performance:
+            raise ValueError("mix has no LC jobs")
+        return sum(self.lc_performance.values()) / len(self.lc_performance)
+
+    @property
+    def mean_bg_performance(self) -> float:
+        if not self.bg_performance:
+            raise ValueError("mix has no BG jobs")
+        return sum(self.bg_performance.values()) / len(self.bg_performance)
+
+
+def isolated_lc_latencies(node: Node) -> Dict[str, float]:
+    """True p95 of each LC job under its own maximum allocation."""
+    baselines: Dict[str, float] = {}
+    for j, job in enumerate(node.jobs):
+        if job.is_lc:
+            truth = node.true_performance(node.space.max_allocation(j))
+            baselines[job.name] = truth.job(job.name).p95_ms
+    return baselines
+
+
+def run_trial(
+    mix: MixSpec,
+    policy: Policy,
+    seed: Optional[int] = None,
+    budget: Optional[NodeBudget] = None,
+    server: Optional[ServerSpec] = None,
+) -> TrialResult:
+    """One policy run on a fresh node, judged by true performance."""
+    server = server or default_server()
+    node = mix.build_node(server=server, seed=seed)
+    budget = budget or NodeBudget()
+    result = policy.partition(node, budget)
+
+    lc_perf: Dict[str, float] = {}
+    bg_perf: Dict[str, float] = {}
+    qos_met = False
+    if result.best_config is not None:
+        truth = node.true_performance(result.best_config)
+        qos_met = truth.all_qos_met
+        baselines = isolated_lc_latencies(node)
+        for reading in truth.jobs:
+            if reading.role == LC_ROLE:
+                lc_perf[reading.name] = baselines[reading.name] / reading.p95_ms
+            elif reading.role == BG_ROLE:
+                bg_perf[reading.name] = reading.throughput_norm
+    return TrialResult(
+        policy=result.policy,
+        mix=mix,
+        seed=seed,
+        result=result,
+        qos_met=qos_met,
+        lc_performance=lc_perf,
+        bg_performance=bg_perf,
+        samples=result.samples_taken,
+        evaluations=result.total_evaluations,
+    )
+
+
+def run_policies(
+    mix: MixSpec,
+    policies: Dict[str, PolicyFactory],
+    seeds: Sequence[Optional[int]] = (0,),
+    budget: Optional[NodeBudget] = None,
+    server: Optional[ServerSpec] = None,
+) -> Dict[str, Tuple[TrialResult, ...]]:
+    """Run several policies (each over several seeds) on one mix."""
+    outcome: Dict[str, Tuple[TrialResult, ...]] = {}
+    for name, factory in policies.items():
+        trials = tuple(
+            run_trial(mix, factory(seed), seed=seed, budget=budget, server=server)
+            for seed in seeds
+        )
+        outcome[name] = trials
+    return outcome

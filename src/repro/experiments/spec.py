@@ -1,0 +1,99 @@
+"""Declarative descriptions of co-location scenarios.
+
+A :class:`MixSpec` names the LC jobs (with load fractions) and BG jobs
+of one co-location, and can build a fresh simulated node for it — the
+unit every experiment in Sec. 5 is expressed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple, Union
+
+from ..server.counters import DEFAULT_OBSERVATION_PERIOD_S, PerformanceCounters
+from ..server.node import Job, Node
+from ..resources.spec import ServerSpec, default_server
+from ..workloads.loadgen import LoadSchedule
+from ..workloads.parsec import bg_workload
+from ..workloads.tailbench import lc_workload
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One co-location scenario: LC jobs at given loads plus BG jobs.
+
+    Attributes:
+        lc: ``(workload_name, load)`` pairs; ``load`` is either a float
+            load fraction or a :class:`LoadSchedule` for dynamic
+            scenarios.
+        bg: BG workload names.
+    """
+
+    lc: Tuple[Tuple[str, Union[float, LoadSchedule]], ...]
+    bg: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.lc and not self.bg:
+            raise ValueError("a mix needs at least one job")
+
+    @staticmethod
+    def of(
+        lc: Sequence[Tuple[str, Union[float, LoadSchedule]]],
+        bg: Sequence[str] = (),
+    ) -> "MixSpec":
+        return MixSpec(lc=tuple(lc), bg=tuple(bg))
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.lc) + len(self.bg)
+
+    def label(self) -> str:
+        """Compact human-readable mix description."""
+        parts = []
+        for name, load in self.lc:
+            if isinstance(load, LoadSchedule):
+                parts.append(f"{name}@dyn")
+            else:
+                parts.append(f"{name}@{load:.0%}")
+        parts.extend(self.bg)
+        return " + ".join(parts)
+
+    def with_lc_load(self, name: str, load: Union[float, LoadSchedule]) -> "MixSpec":
+        """A copy with one LC job's load replaced."""
+        if name not in {n for n, _ in self.lc}:
+            raise KeyError(f"no LC job named {name!r} in this mix")
+        new_lc = tuple(
+            (n, load if n == name else current) for n, current in self.lc
+        )
+        return replace(self, lc=new_lc)
+
+    def build_node(
+        self,
+        server: Optional[ServerSpec] = None,
+        seed: Optional[int] = None,
+        window_s: float = DEFAULT_OBSERVATION_PERIOD_S,
+        noise: Optional[float] = None,
+    ) -> Node:
+        """Instantiate a fresh node running this mix.
+
+        Args:
+            server: Server spec (default: the Table 2 testbed).
+            seed: Counter-noise seed (fresh entropy if ``None``).
+            window_s: Observation window length.
+            noise: Override the counters' relative noise level.
+        """
+        server = server or default_server()
+        jobs = []
+        for name, load in self.lc:
+            workload = lc_workload(name, server)
+            if isinstance(load, LoadSchedule):
+                jobs.append(Job(workload, load))
+            else:
+                jobs.append(Job.lc(workload, load))
+        jobs.extend(Job.bg(bg_workload(name)) for name in self.bg)
+        counters = (
+            PerformanceCounters(relative_std=noise, seed=seed)
+            if noise is not None
+            else PerformanceCounters(seed=seed)
+        )
+        return Node(server, jobs, counters=counters, window_s=window_s)

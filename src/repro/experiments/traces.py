@@ -1,0 +1,113 @@
+"""Search-trajectory views of a policy run (Figs. 9 and 15b).
+
+Fig. 9(a) compares the final per-job resource split of two policies;
+Fig. 9(b) shows each job's allocation over configuration samples —
+PARTIES cycling without converging while CLITE stabilizes; Fig. 15(b)
+shows the best-so-far BG performance over samples — PARTIES plateauing
+at QoS while CLITE keeps improving.  All three views derive from the
+policy traces the runner already records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..resources.spec import ServerSpec
+from ..schedulers.base import PolicyResult
+from ..server.node import BG_ROLE, LC_ROLE
+
+
+@dataclass(frozen=True)
+class AllocationSnapshot:
+    """Per-job share of every resource for one configuration (Fig. 9a)."""
+
+    policy: str
+    job_names: Tuple[str, ...]
+    resource_names: Tuple[str, ...]
+    shares: Tuple[Tuple[float, ...], ...]  # [job][resource], fractions
+
+    def share(self, job: str, resource: str) -> float:
+        return self.shares[self.job_names.index(job)][
+            self.resource_names.index(resource)
+        ]
+
+
+def allocation_snapshot(
+    result: PolicyResult, server: ServerSpec, job_names: Sequence[str]
+) -> AllocationSnapshot:
+    """Fractional allocation of the policy's chosen partition."""
+    if result.best_config is None:
+        raise ValueError(f"{result.policy} found no configuration")
+    config = result.best_config
+    shares = tuple(
+        tuple(
+            config.get(j, r) / resource.units
+            for r, resource in enumerate(server.resources)
+        )
+        for j in range(config.n_jobs)
+    )
+    return AllocationSnapshot(
+        policy=result.policy,
+        job_names=tuple(job_names),
+        resource_names=server.resource_names,
+        shares=shares,
+    )
+
+
+def allocation_series(
+    result: PolicyResult, server: ServerSpec, job: int, resource: int
+) -> List[float]:
+    """One job's share of one resource across samples (Fig. 9b)."""
+    units = server.resources[resource].units
+    return [entry.config.get(job, resource) / units for entry in result.trace]
+
+
+def qos_met_series(result: PolicyResult) -> List[bool]:
+    """Whether every LC job met QoS, per sample."""
+    return [entry.observation.all_qos_met for entry in result.trace]
+
+
+def best_bg_performance_series(
+    result: PolicyResult, bg_job: str
+) -> List[Optional[float]]:
+    """Best-so-far QoS-safe BG performance over samples (Fig. 15b).
+
+    A sample only advances the series if every LC job met QoS in it —
+    BG throughput achieved by starving an LC job does not count.
+    """
+    best: Optional[float] = None
+    series: List[Optional[float]] = []
+    for entry in result.trace:
+        if entry.observation.all_qos_met:
+            perf = entry.observation.job(bg_job).throughput_norm
+            if best is None or perf > best:
+                best = perf
+        series.append(best)
+    return series
+
+
+def first_qos_met_sample(result: PolicyResult) -> Optional[int]:
+    """Index of the first sample meeting every QoS (Fig. 15b marker)."""
+    for entry in result.trace:
+        if entry.observation.all_qos_met:
+            return entry.index
+    return None
+
+
+def per_job_performance(
+    result: PolicyResult,
+) -> Dict[str, List[float]]:
+    """Each job's per-sample performance (QoS ratio for LC, norm for BG)."""
+    if not result.trace:
+        return {}
+    series: Dict[str, List[float]] = {
+        reading.name: [] for reading in result.trace[0].observation.jobs
+    }
+    for entry in result.trace:
+        for reading in entry.observation.jobs:
+            if reading.role == LC_ROLE:
+                series[reading.name].append(reading.qos_ratio)
+            elif reading.role == BG_ROLE:
+                series[reading.name].append(reading.throughput_norm)
+    return series

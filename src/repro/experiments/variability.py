@@ -1,0 +1,62 @@
+"""Run-to-run variability of a policy's chosen partition (Fig. 11).
+
+Every scheme has a stochastic element — RAND+'s draws, GENETIC's
+mutations, PARTIES' trial-and-error ordering, CLITE's probabilistic
+dropout — so the paper repeats each co-location several times and
+reports the standard deviation of the observed performance as a
+percentage of its mean.  CLITE's claim is the lowest variability
+(< 7% vs. often > 20% for the others).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..server.node import NodeBudget
+from .runner import PolicyFactory, TrialResult, run_trial
+from .spec import MixSpec
+
+
+def run_repeats(
+    mix: MixSpec,
+    policy_factory: PolicyFactory,
+    n_trials: int = 5,
+    budget: Optional[NodeBudget] = None,
+    base_seed: int = 0,
+) -> Tuple[TrialResult, ...]:
+    """The same mix, ``n_trials`` times with different seeds."""
+    if n_trials < 2:
+        raise ValueError("variability needs at least 2 trials")
+    return tuple(
+        run_trial(mix, policy_factory(base_seed + i), seed=base_seed + i, budget=budget)
+        for i in range(n_trials)
+    )
+
+
+def trial_performance(trial: TrialResult) -> float:
+    """The scalar performance Fig. 11 tracks per run.
+
+    Mean BG performance when the mix has BG jobs, otherwise mean LC
+    performance; 0 when the trial failed to find any partition.
+    """
+    if trial.result.best_config is None:
+        return 0.0
+    if trial.bg_performance:
+        return trial.mean_bg_performance
+    return trial.mean_lc_performance
+
+
+def variability_percent(
+    trials: Sequence[TrialResult],
+    metric: Callable[[TrialResult], float] = trial_performance,
+) -> float:
+    """Population standard deviation as % of the mean of ``metric``."""
+    values = [metric(t) for t in trials]
+    if len(values) < 2:
+        raise ValueError("variability needs at least 2 trials")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return float("inf")
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return 100.0 * math.sqrt(variance) / mean

@@ -1,0 +1,35 @@
+"""Partitionable-resource substrate: specs, configurations, isolation tools."""
+
+from .allocation import Configuration, ConfigurationSpace
+from .isolation import IsolationManager, ToolInvocation
+from .spec import (
+    CORES,
+    DISK_BANDWIDTH,
+    LLC_WAYS,
+    MEMORY_BANDWIDTH,
+    MEMORY_CAPACITY,
+    NETWORK_BANDWIDTH,
+    Resource,
+    ServerSpec,
+    default_server,
+    full_server,
+    small_server,
+)
+
+__all__ = [
+    "CORES",
+    "DISK_BANDWIDTH",
+    "LLC_WAYS",
+    "MEMORY_BANDWIDTH",
+    "MEMORY_CAPACITY",
+    "NETWORK_BANDWIDTH",
+    "Configuration",
+    "ConfigurationSpace",
+    "IsolationManager",
+    "Resource",
+    "ServerSpec",
+    "ToolInvocation",
+    "default_server",
+    "full_server",
+    "small_server",
+]

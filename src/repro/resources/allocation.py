@@ -1,0 +1,323 @@
+"""Resource-partition configurations.
+
+A *configuration* assigns an integer number of units of every shared
+resource to every co-located job (e.g. "3 cores + 4 LLC ways + 30% memory
+bandwidth to job 0, ...").  Configurations are the points of the search
+space that CLITE's Bayesian optimizer navigates, so this module also
+provides the mappings between integer configurations and the continuous
+unit cube the Gaussian process operates in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .spec import ServerSpec
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable (n_jobs x n_resources) integer allocation matrix.
+
+    ``units[j][r]`` is the number of units of resource ``r`` (in
+    ``spec.resources`` order) held by job ``j``.
+    """
+
+    units: Tuple[Tuple[int, ...], ...]
+
+    @staticmethod
+    def from_matrix(matrix: Iterable[Iterable[int]]) -> "Configuration":
+        return Configuration(tuple(tuple(int(v) for v in row) for row in matrix))
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.units)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.units[0]) if self.units else 0
+
+    def get(self, job: int, resource: int) -> int:
+        return self.units[job][resource]
+
+    def as_array(self) -> np.ndarray:
+        """Return a fresh ``(n_jobs, n_resources)`` int array."""
+        return np.array(self.units, dtype=int)
+
+    def flat(self) -> Tuple[int, ...]:
+        """Row-major flattening, job-major: (j0r0, j0r1, ..., j1r0, ...)."""
+        return tuple(v for row in self.units for v in row)
+
+    def with_transfer(
+        self, resource: int, donor: int, receiver: int, amount: int = 1
+    ) -> "Configuration":
+        """Move ``amount`` units of one resource between two jobs.
+
+        Raises:
+            ValueError: if the donor would drop below one unit.
+        """
+        if donor == receiver:
+            raise ValueError("donor and receiver must differ")
+        matrix = [list(row) for row in self.units]
+        if matrix[donor][resource] - amount < 1:
+            raise ValueError(
+                f"job {donor} holds {matrix[donor][resource]} units of "
+                f"resource {resource}; cannot give away {amount}"
+            )
+        matrix[donor][resource] -= amount
+        matrix[receiver][resource] += amount
+        return Configuration.from_matrix(matrix)
+
+    def job_allocation(self, job: int) -> Tuple[int, ...]:
+        """All resource units held by one job."""
+        return self.units[job]
+
+    def resource_column(self, resource: int) -> Tuple[int, ...]:
+        """Units of one resource across all jobs."""
+        return tuple(row[resource] for row in self.units)
+
+    def distance(self, other: "Configuration") -> float:
+        """Euclidean distance in raw unit space (used by RAND+ dedup)."""
+        a = np.asarray(self.flat(), dtype=float)
+        b = np.asarray(other.flat(), dtype=float)
+        return float(np.linalg.norm(a - b))
+
+
+def _round_column(weights: np.ndarray, total: int) -> np.ndarray:
+    """Round non-negative weights to integers >= 1 summing to ``total``.
+
+    Uses the largest-remainder method on top of a guaranteed one-unit
+    floor per job, which is Eq. 5's lower bound.
+    """
+    n = len(weights)
+    if total < n:
+        raise ValueError(f"cannot give {n} jobs >=1 unit out of {total}")
+    spare = total - n
+    w = np.clip(np.asarray(weights, dtype=float), 0.0, None)
+    if w.sum() <= 0:
+        w = np.ones(n)
+    shares = w / w.sum() * spare
+    base = np.floor(shares).astype(int)
+    remainder = spare - int(base.sum())
+    if remainder:
+        # Highest fractional parts get the leftover units; ties broken by
+        # job index for determinism.
+        order = np.argsort(-(shares - base), kind="stable")
+        base[order[:remainder]] += 1
+    return base + 1
+
+
+class ConfigurationSpace:
+    """The discrete space of all valid partitions of a server among jobs.
+
+    Provides the combinatorics from Sec. 2 (the space has
+    ``prod(C(units_r - 1, n_jobs - 1))`` points), canonical bootstrap
+    points, uniform random sampling, lattice enumeration for ORACLE, and
+    the [0, 1] unit-cube encoding used by the Gaussian process.
+    """
+
+    def __init__(self, spec: ServerSpec, n_jobs: int) -> None:
+        if n_jobs < 1:
+            raise ValueError("need at least one job")
+        if n_jobs > spec.max_jobs():
+            raise ValueError(
+                f"{n_jobs} jobs cannot each get one unit of every resource "
+                f"on this server (max {spec.max_jobs()})"
+            )
+        self.spec = spec
+        self.n_jobs = n_jobs
+        self._units = np.array([r.units for r in spec.resources], dtype=int)
+
+    @property
+    def n_resources(self) -> int:
+        return self.spec.n_resources
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the (job, resource) allocation vector."""
+        return self.n_jobs * self.n_resources
+
+    # ------------------------------------------------------------------
+    # Combinatorics
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Total number of valid configurations (Sec. 2 formula)."""
+        from math import comb
+
+        total = 1
+        for units in self._units:
+            total *= comb(int(units) - 1, self.n_jobs - 1)
+        return total
+
+    def strided_size(self, stride: int) -> int:
+        """Number of points :meth:`enumerate` yields for this stride."""
+        total = 1
+        for units in self._units:
+            total *= sum(
+                1 for _ in self._compositions(int(units), self.n_jobs, stride)
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, config: Configuration) -> None:
+        """Raise ``ValueError`` if ``config`` is not a point of this space."""
+        if config.n_jobs != self.n_jobs:
+            raise ValueError(
+                f"expected {self.n_jobs} jobs, got {config.n_jobs}"
+            )
+        if config.n_resources != self.n_resources:
+            raise ValueError(
+                f"expected {self.n_resources} resources, got {config.n_resources}"
+            )
+        arr = config.as_array()
+        if (arr < 1).any():
+            raise ValueError(f"every job needs >= 1 unit of every resource: {arr}")
+        sums = arr.sum(axis=0)
+        if (sums != self._units).any():
+            raise ValueError(
+                f"resource columns must sum to {self._units.tolist()}, "
+                f"got {sums.tolist()}"
+            )
+
+    def contains(self, config: Configuration) -> bool:
+        try:
+            self.validate(config)
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Canonical points (CLITE's bootstrap set, Sec. 4)
+    # ------------------------------------------------------------------
+    def equal_partition(self) -> Configuration:
+        """Divide every resource as equally as possible among the jobs."""
+        matrix = np.empty((self.n_jobs, self.n_resources), dtype=int)
+        for r, units in enumerate(self._units):
+            base, extra = divmod(int(units), self.n_jobs)
+            column = np.full(self.n_jobs, base, dtype=int)
+            column[:extra] += 1
+            matrix[:, r] = column
+        return Configuration.from_matrix(matrix)
+
+    def max_allocation(self, job: int) -> Configuration:
+        """Give ``job`` everything except the one-unit floor of the others."""
+        if not 0 <= job < self.n_jobs:
+            raise IndexError(f"job index {job} out of range")
+        matrix = np.ones((self.n_jobs, self.n_resources), dtype=int)
+        for r, units in enumerate(self._units):
+            matrix[job, r] = int(units) - self.n_jobs + 1
+        return Configuration.from_matrix(matrix)
+
+    # ------------------------------------------------------------------
+    # Sampling and enumeration
+    # ------------------------------------------------------------------
+    def random(self, rng: np.random.Generator) -> Configuration:
+        """Draw a configuration uniformly at random.
+
+        Each resource column is a uniform random composition of its units
+        into ``n_jobs`` positive parts (classic stars-and-bars sampling).
+        """
+        matrix = np.empty((self.n_jobs, self.n_resources), dtype=int)
+        for r, units in enumerate(self._units):
+            units = int(units)
+            if self.n_jobs == 1:
+                matrix[0, r] = units
+                continue
+            cuts = rng.choice(units - 1, size=self.n_jobs - 1, replace=False)
+            cuts.sort()
+            bounds = np.concatenate(([0], cuts + 1, [units]))
+            matrix[:, r] = np.diff(bounds)
+        return Configuration.from_matrix(matrix)
+
+    def enumerate(self, stride: int = 1) -> Iterable[Configuration]:
+        """Yield every configuration (optionally on a coarser lattice).
+
+        With ``stride > 1`` only allocations congruent to 1 modulo
+        ``stride`` (plus the boundary maximum) are considered per job,
+        shrinking the lattice for tractable ORACLE sweeps.
+        """
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        columns = [
+            list(self._compositions(int(units), self.n_jobs, stride))
+            for units in self._units
+        ]
+
+        def product(idx: int, rows: list) -> Iterable[Configuration]:
+            if idx == len(columns):
+                matrix = np.column_stack(rows)
+                yield Configuration.from_matrix(matrix)
+                return
+            for column in columns[idx]:
+                yield from product(idx + 1, rows + [np.asarray(column)])
+
+        yield from product(0, [])
+
+    @staticmethod
+    def _compositions(total: int, parts: int, stride: int) -> Iterable[Tuple[int, ...]]:
+        """All compositions of ``total`` into ``parts`` positive integers.
+
+        With ``stride > 1``, each part except the last is restricted to
+        ``{1, 1 + stride, 1 + 2*stride, ...}``; the last part absorbs the
+        remainder so column sums stay exact.
+        """
+        if parts == 1:
+            yield (total,)
+            return
+        first = 1
+        while total - first >= parts - 1:
+            for rest in ConfigurationSpace._compositions(
+                total - first, parts - 1, stride
+            ):
+                yield (first,) + rest
+            first += stride
+
+    def neighbors(self, config: Configuration) -> Iterable[Configuration]:
+        """All configurations one single-unit transfer away."""
+        for r in range(self.n_resources):
+            for donor in range(self.n_jobs):
+                if config.get(donor, r) <= 1:
+                    continue
+                for receiver in range(self.n_jobs):
+                    if receiver != donor:
+                        yield config.with_transfer(r, donor, receiver)
+
+    # ------------------------------------------------------------------
+    # Unit-cube encoding for the Gaussian process
+    # ------------------------------------------------------------------
+    def to_unit_cube(self, config: Configuration) -> np.ndarray:
+        """Map a configuration to a vector in ``[0, 1]^n_dims``.
+
+        Each (job, resource) cell is scaled by that resource's feasible
+        range ``[1, units - n_jobs + 1]`` (Eq. 5).  A degenerate resource
+        whose range is a single point maps to 0.
+        """
+        arr = config.as_array().astype(float)
+        spans = (self._units - self.n_jobs).astype(float)
+        scaled = np.zeros_like(arr)
+        nonzero = spans > 0
+        scaled[:, nonzero] = (arr[:, nonzero] - 1.0) / spans[nonzero]
+        return scaled.reshape(-1)
+
+    def from_unit_cube(self, x: Sequence[float]) -> Configuration:
+        """Project a unit-cube vector back onto the feasible lattice.
+
+        The continuous vector is interpreted per resource as relative
+        weights of the spare units (everything above the one-unit floor)
+        and rounded with the largest-remainder method, so the result
+        always satisfies Eqs. 5-6 exactly.
+        """
+        vec = np.asarray(x, dtype=float).reshape(self.n_jobs, self.n_resources)
+        matrix = np.empty((self.n_jobs, self.n_resources), dtype=int)
+        for r, units in enumerate(self._units):
+            matrix[:, r] = _round_column(np.clip(vec[:, r], 0.0, 1.0), int(units))
+        return Configuration.from_matrix(matrix)
+
+    def bounds(self) -> np.ndarray:
+        """``(n_dims, 2)`` box bounds of the unit cube (always [0, 1])."""
+        return np.tile(np.array([0.0, 1.0]), (self.n_dims, 1))

@@ -1,0 +1,147 @@
+"""Specifications of partitionable shared resources and the server.
+
+This module mirrors Tables 1 and 2 of the CLITE paper: a chip
+multi-processor server exposes several shared resources (cores, LLC ways,
+memory bandwidth, ...), each divisible into a fixed number of discrete
+*units* that an isolation tool (taskset, Intel CAT, Intel MBA, cgroups)
+can hand to individual co-located jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Canonical resource names used throughout the library.
+CORES = "cores"
+LLC_WAYS = "llc_ways"
+MEMORY_BANDWIDTH = "membw"
+MEMORY_CAPACITY = "memcap"
+DISK_BANDWIDTH = "diskbw"
+NETWORK_BANDWIDTH = "netbw"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One partitionable shared resource (a row of Table 1).
+
+    Attributes:
+        name: Canonical short name (e.g. ``"cores"``).
+        units: Number of discrete allocation units. Every co-located job
+            must receive at least one unit, and all allocations of this
+            resource must sum to ``units``.
+        allocation_method: How the resource is divided (documentation only).
+        isolation_tool: The real-world tool the simulator stands in for.
+    """
+
+    name: str
+    units: int
+    allocation_method: str = "unit partitioning"
+    isolation_tool: str = "simulated"
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError(
+                f"resource {self.name!r} must have >= 1 unit, got {self.units}"
+            )
+
+    def max_units_per_job(self, n_jobs: int) -> int:
+        """Maximum units one job may hold when ``n_jobs`` jobs share it.
+
+        This is the upper bound of Eq. 5 in the paper: every other job
+        must keep at least one unit.
+        """
+        return self.units - n_jobs + 1
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A server's partitionable resources plus descriptive metadata.
+
+    The default (:func:`default_server`) mirrors the paper's testbed
+    (Table 2): an Intel Xeon Silver 4114 with 10 physical cores, an
+    11-way set-associative 14 MB L3, and memory bandwidth split into
+    ten 10% slices by Intel MBA.
+    """
+
+    resources: Tuple[Resource, ...]
+    cpu_model: str = "Simulated Xeon Silver 4114"
+    sockets: int = 1
+    frequency_ghz: float = 2.2
+    memory_gb: int = 46
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.resources:
+            raise ValueError("a server must expose at least one resource")
+        names = [r.name for r in self.resources]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate resource names: {names}")
+
+    @property
+    def resource_names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.resources)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resources)
+
+    def resource(self, name: str) -> Resource:
+        """Return the resource called ``name``.
+
+        Raises:
+            KeyError: if no resource has that name.
+        """
+        for res in self.resources:
+            if res.name == name:
+                return res
+        raise KeyError(f"no resource named {name!r}; have {self.resource_names}")
+
+    def max_jobs(self) -> int:
+        """Largest number of jobs that can each get >= 1 unit of everything."""
+        return min(r.units for r in self.resources)
+
+
+def default_server() -> ServerSpec:
+    """The three-resource server used for most of the paper's evaluation.
+
+    Cores, LLC ways, and memory bandwidth are the resources the paper's
+    figures (e.g. Fig. 9) report; the remaining Table 1 resources are
+    available through :func:`full_server`.
+    """
+    return ServerSpec(
+        resources=(
+            Resource(CORES, 10, "core affinity", "taskset"),
+            Resource(LLC_WAYS, 11, "way partitioning", "Intel CAT"),
+            Resource(MEMORY_BANDWIDTH, 10, "bandwidth limiting", "Intel MBA"),
+        ),
+        description="Table 2 testbed: 10 physical cores, 11-way 14MB L3, "
+        "memory bandwidth in 10% MBA slices",
+    )
+
+
+def full_server() -> ServerSpec:
+    """A server exposing all six Table 1 resources."""
+    return ServerSpec(
+        resources=(
+            Resource(CORES, 10, "core affinity", "taskset"),
+            Resource(LLC_WAYS, 11, "way partitioning", "Intel CAT"),
+            Resource(MEMORY_BANDWIDTH, 10, "bandwidth limiting", "Intel MBA"),
+            Resource(MEMORY_CAPACITY, 10, "capacity division", "memory cgroups"),
+            Resource(DISK_BANDWIDTH, 10, "I/O bandwidth limiting", "blkio cgroups"),
+            Resource(NETWORK_BANDWIDTH, 10, "network b/w limiting", "qdisc"),
+        ),
+        description="All Table 1 resources",
+    )
+
+
+def small_server(units: int = 4, n_resources: int = 2) -> ServerSpec:
+    """A deliberately tiny server for exhaustive tests and ORACLE runs."""
+    catalog = (
+        Resource(CORES, units, "core affinity", "taskset"),
+        Resource(LLC_WAYS, units, "way partitioning", "Intel CAT"),
+        Resource(MEMORY_BANDWIDTH, units, "bandwidth limiting", "Intel MBA"),
+    )
+    if not 1 <= n_resources <= len(catalog):
+        raise ValueError(f"n_resources must be in [1, {len(catalog)}]")
+    return ServerSpec(resources=catalog[:n_resources], description="test server")

@@ -1,0 +1,38 @@
+"""Co-location scheduling policies: CLITE and every baseline of Sec. 5."""
+
+from .base import Policy, PolicyResult, SearchRecorder, TraceEntry
+from .clite import CLITEPolicy
+from .ffd import FFDPolicy, hadamard, two_level_design
+from .genetic import GeneticPolicy
+from .heracles import HeraclesPolicy
+from .oracle import OraclePolicy
+from .parties import PartiesPolicy
+from .random_plus import RandomPlusPolicy
+from .rsm import (
+    BOX_BEHNKEN,
+    CENTRAL_COMPOSITE,
+    RSMPolicy,
+    box_behnken_design,
+    central_composite_design,
+)
+
+__all__ = [
+    "BOX_BEHNKEN",
+    "CENTRAL_COMPOSITE",
+    "CLITEPolicy",
+    "FFDPolicy",
+    "GeneticPolicy",
+    "HeraclesPolicy",
+    "OraclePolicy",
+    "PartiesPolicy",
+    "Policy",
+    "PolicyResult",
+    "RSMPolicy",
+    "RandomPlusPolicy",
+    "SearchRecorder",
+    "TraceEntry",
+    "box_behnken_design",
+    "central_composite_design",
+    "hadamard",
+    "two_level_design",
+]

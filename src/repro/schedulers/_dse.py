@@ -1,0 +1,100 @@
+"""Shared machinery for the design-space-exploration baselines.
+
+FFD and RSM (Sec. 5.2's comparison) both follow the same recipe the
+paper describes: choose a *static* set of design points over the
+factors (one factor per (job, resource) dimension), observe them, fit a
+response surface — the paper tried Radial Basis Functions such as the
+polyharmonic (thin-plate) spline — and interpolate the optimum, which
+is then evaluated.  Their weakness is exactly what the paper found:
+static sampling cannot adapt to the job mix, so they need more samples
+than CLITE and still land on worse configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+from scipy.interpolate import RBFInterpolator
+
+from ..resources.allocation import Configuration, ConfigurationSpace
+from ..server.node import Node
+from .base import SearchRecorder
+
+
+def design_to_config(
+    space: ConfigurationSpace, levels: Sequence[float]
+) -> Configuration:
+    """Project one design row (cube-coordinate levels) onto the lattice.
+
+    Design rows ignore the Eq. 6 column sums; the unit-cube projection's
+    largest-remainder rounding repairs them, exactly like every other
+    continuous-to-lattice step in the library.
+    """
+    return space.from_unit_cube(np.clip(np.asarray(levels, dtype=float), 0.0, 1.0))
+
+
+def evaluate_design(
+    recorder: SearchRecorder,
+    space: ConfigurationSpace,
+    rows: Sequence[Sequence[float]],
+) -> List[np.ndarray]:
+    """Observe every (deduplicated) design point within budget.
+
+    Returns the cube coordinates actually sampled; scores live in the
+    recorder's trace.
+    """
+    sampled_cubes: List[np.ndarray] = []
+    seen = set()
+    for row in rows:
+        if recorder.exhausted:
+            break
+        config = design_to_config(space, row)
+        key = config.flat()
+        if key in seen:
+            continue
+        seen.add(key)
+        recorder.observe(config)
+        sampled_cubes.append(space.to_unit_cube(config))
+    return sampled_cubes
+
+
+def fit_and_probe_surface(
+    recorder: SearchRecorder,
+    node: Node,
+    cubes: Sequence[np.ndarray],
+    candidate_pool: int,
+    rng: np.random.Generator,
+    smoothing: float = 1e-6,
+) -> None:
+    """Fit a thin-plate-spline surface and evaluate its predicted optimum.
+
+    The surface is interpolated over a random pool of valid lattice
+    points; the best predicted configuration is then actually observed
+    (if budget remains), mirroring how an offline DSE method would
+    deploy its model's recommendation.
+    """
+    if recorder.exhausted or len(cubes) < 3:
+        return
+    x = np.asarray(cubes, dtype=float)
+    y = np.array([entry.score for entry in recorder.trace[: len(cubes)]])
+    try:
+        surface = RBFInterpolator(
+            x, y, kernel="thin_plate_spline", smoothing=smoothing
+        )
+    except np.linalg.LinAlgError:  # degenerate design (tiny spaces)
+        return
+
+    seen = {entry.config.flat() for entry in recorder.trace}
+    pool = [node.space.random(rng) for _ in range(candidate_pool)]
+    pool = [c for c in pool if c.flat() not in seen]
+    if not pool:
+        return
+    pool_cubes = np.array([node.space.to_unit_cube(c) for c in pool])
+    predicted = surface(pool_cubes)
+    order = np.argsort(-predicted)
+    for i in order:
+        if recorder.exhausted:
+            return
+        recorder.observe(pool[int(i)])
+        return

@@ -1,0 +1,161 @@
+"""Common interface for co-location scheduling policies.
+
+Every policy — CLITE and each baseline of Sec. 5.1 — receives a
+:class:`~repro.server.node.Node` and a sampling budget, explores
+partition configurations by observing them, and returns the best
+partition it found.  All policies are judged with the same Eq. 3 score,
+computed from their own noisy observations, so comparisons are
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.score import ScoreFunction
+from ..resources.allocation import Configuration
+from ..server.node import Node, NodeBudget, Observation
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One sampled configuration in a policy's search trace."""
+
+    index: int
+    config: Configuration
+    observation: Observation
+    score: float
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """What a policy's search produced.
+
+    Attributes:
+        policy: Name of the policy that produced this result.
+        best_config: Best partition found (``None`` if nothing sampled).
+        best_observation: Observation of the best partition.
+        best_score: Eq. 3 score of the best partition.
+        qos_met: Whether the best partition met every LC job's QoS.
+        converged: Whether the policy stopped of its own accord rather
+            than exhausting the budget.
+        trace: All sampled configurations, in order.
+        infeasible_jobs: LC jobs the policy declared impossible to
+            co-locate (CLITE's bootstrap check; empty for most).
+        evaluations: Configuration evaluations performed outside the
+            online trace (ORACLE's offline exhaustive sweep); ``None``
+            for online policies.
+    """
+
+    policy: str
+    best_config: Optional[Configuration]
+    best_observation: Optional[Observation]
+    best_score: float
+    qos_met: bool
+    converged: bool
+    trace: Tuple[TraceEntry, ...]
+    infeasible_jobs: Tuple[str, ...] = ()
+    evaluations: Optional[int] = None
+
+    @property
+    def samples_taken(self) -> int:
+        """Online observation windows consumed (offline sweeps excluded)."""
+        return len(self.trace)
+
+    @property
+    def total_evaluations(self) -> int:
+        """Online samples plus any offline evaluations (Fig. 15a's metric)."""
+        return len(self.trace) + (self.evaluations or 0)
+
+
+class Policy(ABC):
+    """A co-location resource-partitioning policy."""
+
+    #: Human-readable name, e.g. "CLITE" or "PARTIES".
+    name: str = "policy"
+
+    @abstractmethod
+    def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
+        """Search for a partition of ``node`` within ``budget`` samples."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SearchRecorder:
+    """Bookkeeping shared by the search-style baselines.
+
+    Tracks the trace, the incumbent best by Eq. 3 score, and enforces
+    the sample budget.
+    """
+
+    def __init__(self, node: Node, budget: NodeBudget) -> None:
+        self.node = node
+        self.budget = budget
+        self.score_fn = ScoreFunction()
+        # Isolation baselines are measured offline before any
+        # co-location method runs ("not specific to the co-location
+        # method being evaluated", Sec. 5.1), so every policy scores
+        # against the same Iso-Perf denominators without spending
+        # online windows on them.
+        for j, job in enumerate(node.jobs):
+            self.score_fn.record_isolation(
+                job.name, node.true_performance(node.space.max_allocation(j))
+            )
+        self.trace: List[TraceEntry] = []
+        self._best: Optional[TraceEntry] = None
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self.trace) >= self.budget.max_samples
+
+    @property
+    def best(self) -> Optional[TraceEntry]:
+        return self._best
+
+    def observe(self, config: Configuration) -> TraceEntry:
+        """Sample one configuration, score it, and record it.
+
+        Raises:
+            RuntimeError: if the budget is already exhausted.
+        """
+        if self.exhausted:
+            raise RuntimeError("sampling budget exhausted")
+        observation = self.node.observe(config)
+        entry = TraceEntry(
+            index=len(self.trace),
+            config=config,
+            observation=observation,
+            score=self.score_fn(observation),
+        )
+        self.trace.append(entry)
+        if self._best is None or entry.score > self._best.score:
+            self._best = entry
+        return entry
+
+    def result(
+        self,
+        policy: str,
+        converged: bool,
+        final: Optional[TraceEntry] = None,
+    ) -> PolicyResult:
+        """Package the recorded search into a :class:`PolicyResult`.
+
+        Args:
+            final: Override the Eq. 3-best entry as the reported
+                partition.  Feedback controllers (Heracles) end at a
+                stable state rather than an argmax; their terminal
+                partition is the one that would stay enacted.
+        """
+        best = final if final is not None else self._best
+        return PolicyResult(
+            policy=policy,
+            best_config=best.config if best else None,
+            best_observation=best.observation if best else None,
+            best_score=best.score if best else 0.0,
+            qos_met=bool(best and best.observation.all_qos_met),
+            converged=converged,
+            trace=tuple(self.trace),
+        )

@@ -1,0 +1,60 @@
+"""CLITE as a scheduling policy (thin wrapper over the core engine)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.engine import CLITEConfig, CLITEEngine
+from ..server.node import Node, NodeBudget
+from .base import Policy, PolicyResult, TraceEntry
+
+
+class CLITEPolicy(Policy):
+    """The paper's contribution, packaged behind the policy interface.
+
+    Args:
+        config: Engine configuration; the budget's ``max_samples`` is
+            folded in at :meth:`partition` time (the tighter cap wins).
+        seed: Overrides ``config.seed`` when given.
+    """
+
+    name = "CLITE"
+
+    def __init__(
+        self,
+        config: Optional[CLITEConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._config = config if config is not None else CLITEConfig()
+        if seed is not None:
+            from dataclasses import replace
+
+            self._config = replace(self._config, seed=seed)
+
+    def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
+        from dataclasses import replace
+
+        cap = budget.max_samples
+        if self._config.max_samples is not None:
+            cap = min(cap, self._config.max_samples)
+        engine = CLITEEngine(node, replace(self._config, max_samples=cap))
+        result = engine.optimize()
+        trace = tuple(
+            TraceEntry(
+                index=r.index,
+                config=r.config,
+                observation=r.observation,
+                score=r.score,
+            )
+            for r in result.samples
+        )
+        return PolicyResult(
+            policy=self.name,
+            best_config=result.best_config,
+            best_observation=result.best_observation,
+            best_score=result.best_score,
+            qos_met=result.qos_met,
+            converged=result.converged,
+            trace=trace,
+            infeasible_jobs=result.infeasible_jobs,
+        )

@@ -1,0 +1,140 @@
+"""Heracles (Lo et al., ISCA 2015) — the single-LC-job controller.
+
+Heracles guards the QoS of exactly **one** latency-critical job — the
+first LC job on the node — by growing its allocation whenever it
+violates and returning spare resources to the best-effort jobs when it
+has comfortable slack.  Every other job, including any additional LC
+jobs, is treated as best effort: this is precisely why Heracles cannot
+co-locate multiple LC jobs in the paper's Fig. 7 ("Heracles is not
+designed to enable co-location of multiple LC jobs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..resources.allocation import Configuration
+from ..server.node import Node, NodeBudget
+from .base import Policy, PolicyResult, SearchRecorder
+from .parties import DOWNSIZE_SLACK, _slack
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One Heracles adjustment: the new partition and FSM bookkeeping."""
+
+    config: Configuration
+    cursor: int
+    shrunk_resource: Optional[int] = None
+
+
+class HeraclesPolicy(Policy):
+    """Grow-the-primary / shrink-on-slack control for the first LC job.
+
+    A resource whose give-back broke the primary's QoS is marked
+    *tight* and never shrunk again — the hysteresis that keeps the
+    controller from cycling between a violating and an over-provisioned
+    partition.
+
+    Args:
+        stall_limit: Consecutive no-op windows after which the
+            controller declares the partition stable.
+    """
+
+    name = "Heracles"
+
+    def __init__(self, stall_limit: int = 3) -> None:
+        if stall_limit < 1:
+            raise ValueError("stall_limit must be >= 1")
+        self.stall_limit = stall_limit
+
+    def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
+        if not node.lc_indices:
+            raise ValueError("Heracles needs at least one LC job")
+        primary = node.lc_indices[0]
+        primary_name = node.jobs[primary].name
+
+        recorder = SearchRecorder(node, budget)
+        config = node.space.equal_partition()
+        entry = recorder.observe(config)
+        cursor = 0
+        stalls = 0
+        converged = False
+        tight: Set[int] = set()  # resources whose shrink broke QoS
+        last_shrink: Optional[int] = None
+
+        while not recorder.exhausted:
+            slack = _slack(entry.observation, primary_name)
+            if slack < 0:
+                if last_shrink is not None:
+                    # The shrink we just tried broke the primary's QoS:
+                    # remember it and grow that resource back first.
+                    tight.add(last_shrink)
+                    cursor = last_shrink
+                move = self._grow_primary(node, config, primary, cursor)
+            elif slack > DOWNSIZE_SLACK:
+                move = self._shrink_primary(node, config, primary, cursor, tight)
+            else:
+                move = None
+            last_shrink = move.shrunk_resource if move is not None else None
+
+            if move is None:
+                stalls += 1
+                if stalls >= self.stall_limit:
+                    converged = True
+                    break
+                entry = recorder.observe(config)
+                continue
+            stalls = 0
+            config, cursor = move.config, move.cursor
+            entry = recorder.observe(config)
+
+        # Heracles is a feedback controller, not a search: the partition
+        # left enacted is its terminal state, not the best-scoring
+        # sample along the way.
+        return recorder.result(self.name, converged, final=entry)
+
+    def _grow_primary(
+        self, node: Node, config: Configuration, primary: int, cursor: int
+    ) -> Optional[_Move]:
+        """Take one unit of the cursor resource from the richest other job."""
+        n_res = node.space.n_resources
+        for offset in range(n_res):
+            resource = (cursor + offset) % n_res
+            donors = [
+                j
+                for j in range(node.n_jobs)
+                if j != primary and config.get(j, resource) > 1
+            ]
+            if not donors:
+                continue
+            donor = max(donors, key=lambda j: config.get(j, resource))
+            return _Move(
+                config=config.with_transfer(resource, donor, primary),
+                cursor=(resource + 1) % n_res,
+            )
+        return None
+
+    def _shrink_primary(
+        self,
+        node: Node,
+        config: Configuration,
+        primary: int,
+        cursor: int,
+        tight: Set[int],
+    ) -> Optional[_Move]:
+        """Return one unit of a non-tight resource to the poorest other job."""
+        n_res = node.space.n_resources
+        for offset in range(n_res):
+            resource = (cursor + offset) % n_res
+            if resource in tight or config.get(primary, resource) <= 1:
+                continue
+            others = [j for j in range(node.n_jobs) if j != primary]
+            receiver = min(others, key=lambda j: config.get(j, resource))
+            return _Move(
+                config=config.with_transfer(resource, primary, receiver),
+                cursor=(resource + 1) % n_res,
+                shrunk_resource=resource,
+            )
+        return None

@@ -1,0 +1,215 @@
+"""PARTIES (Chen et al., ASPLOS 2019) — the trial-and-error baseline.
+
+PARTIES monitors each LC job's tail-latency *slack* and makes
+incremental, one-resource-at-a-time adjustments through a per-job
+finite state machine:
+
+* an LC job violating its QoS is **upsized**: it receives one unit of
+  the resource its FSM currently points at, taken from a BG job when
+  possible, otherwise from the LC job with the most slack;
+* when every LC job has comfortable slack, the slackest job is
+  **downsized** by one unit, donated to the BG jobs; a downsize that
+  causes a violation is reverted and that (job, resource) pair marked
+  tight;
+* if an adjustment does not improve the target job's slack, the FSM
+  advances to the next resource — the mechanism that, as the CLITE
+  paper shows (Fig. 9b), can cycle indefinitely without ever finding a
+  jointly feasible partition, because no move explores two resources
+  at once.
+
+The implementation follows the CLITE paper's characterization of
+PARTIES (Secs. 1-2, 5.1): simple, effective when coordinate descent
+suffices, blind to resource equivalence, and best-effort toward BG
+jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..resources.allocation import Configuration
+from ..server.node import LC_ROLE, Node, NodeBudget, Observation
+from .base import Policy, PolicyResult, SearchRecorder
+
+#: Slack above which PARTIES considers reclaiming resources for BG jobs.
+DOWNSIZE_SLACK = 0.30
+#: Minimum slack improvement for an upsize to count as progress.
+IMPROVEMENT_EPSILON = 0.01
+
+
+def _slack(observation: Observation, job_name: str) -> float:
+    """Relative latency slack ``(target - p95) / target`` (negative = violating)."""
+    reading = observation.job(job_name)
+    if reading.role != LC_ROLE:
+        raise ValueError(f"{job_name} is not an LC job")
+    return (reading.qos_target_ms - reading.p95_ms) / reading.qos_target_ms
+
+
+class PartiesPolicy(Policy):
+    """Coordinate-descent partitioning with per-job resource FSMs.
+
+    Args:
+        stall_limit: Consecutive no-op steps (all QoS met, nothing safe
+            to downsize) after which PARTIES declares itself stable.
+    """
+
+    name = "PARTIES"
+
+    def __init__(self, stall_limit: int = 3) -> None:
+        if stall_limit < 1:
+            raise ValueError("stall_limit must be >= 1")
+        self.stall_limit = stall_limit
+
+    # ------------------------------------------------------------------
+    # FSM helpers
+    # ------------------------------------------------------------------
+    def _advance(self, fsm: Dict[int, int], job: int, n_resources: int) -> None:
+        fsm[job] = (fsm[job] + 1) % n_resources
+
+    def _find_donor(
+        self,
+        node: Node,
+        config: Configuration,
+        resource: int,
+        needy: int,
+        observation: Observation,
+    ) -> Optional[int]:
+        """Who gives up one unit of ``resource`` for job ``needy``.
+
+        BG jobs donate first (largest holding first); failing that, the
+        LC job with the most slack that still has spare units.
+        """
+        bg_donors = [
+            j
+            for j in node.bg_indices
+            if j != needy and config.get(j, resource) > 1
+        ]
+        if bg_donors:
+            return max(bg_donors, key=lambda j: config.get(j, resource))
+        lc_donors = [
+            j
+            for j in node.lc_indices
+            if j != needy and config.get(j, resource) > 1
+        ]
+        if not lc_donors:
+            return None
+        return max(lc_donors, key=lambda j: _slack(observation, node.jobs[j].name))
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
+        recorder = SearchRecorder(node, budget)
+        config = node.space.equal_partition()
+        entry = recorder.observe(config)
+
+        n_res = node.space.n_resources
+        fsm: Dict[int, int] = {j: 0 for j in range(node.n_jobs)}
+        tight: Set[Tuple[int, int]] = set()  # (job, resource) unsafe to shrink
+        stalls = 0
+        converged = False
+
+        while not recorder.exhausted:
+            observation = entry.observation
+            lc_slacks = {
+                j: _slack(observation, node.jobs[j].name)
+                for j in node.lc_indices
+            }
+            violators = [j for j, s in lc_slacks.items() if s < 0]
+
+            if violators:
+                moved = self._upsize_step(
+                    node, recorder, config, fsm, violators, lc_slacks, observation
+                )
+            else:
+                moved = self._downsize_step(
+                    node, recorder, config, fsm, tight, lc_slacks
+                )
+                if moved is None:
+                    stalls += 1
+                    if stalls >= self.stall_limit:
+                        converged = True
+                        break
+                    # Re-observe the stable partition (monitoring window).
+                    if recorder.exhausted:
+                        break
+                    entry = recorder.observe(config)
+                    continue
+            stalls = 0
+            if moved is None:
+                break  # nothing can move at all
+            config, entry = moved
+
+        return recorder.result(self.name, converged)
+
+    def _upsize_step(
+        self,
+        node: Node,
+        recorder: SearchRecorder,
+        config: Configuration,
+        fsm: Dict[int, int],
+        violators: List[int],
+        lc_slacks: Dict[int, float],
+        observation: Observation,
+    ) -> Optional[Tuple[Configuration, object]]:
+        """Grow the most-violating job by one unit of its FSM resource."""
+        needy = min(violators, key=lambda j: lc_slacks[j])
+        for _ in range(node.space.n_resources):
+            resource = fsm[needy]
+            donor = self._find_donor(node, config, resource, needy, observation)
+            if donor is None:
+                self._advance(fsm, needy, node.space.n_resources)
+                continue
+            new_config = config.with_transfer(resource, donor, needy)
+            entry = recorder.observe(new_config)
+            new_slack = _slack(entry.observation, node.jobs[needy].name)
+            if new_slack < lc_slacks[needy] + IMPROVEMENT_EPSILON:
+                # No progress on this resource; try another next time.
+                self._advance(fsm, needy, node.space.n_resources)
+            return new_config, entry
+        return None
+
+    def _downsize_step(
+        self,
+        node: Node,
+        recorder: SearchRecorder,
+        config: Configuration,
+        fsm: Dict[int, int],
+        tight: Set[Tuple[int, int]],
+        lc_slacks: Dict[int, float],
+    ) -> Optional[Tuple[Configuration, object]]:
+        """Reclaim one unit from the slackest LC job for the BG jobs.
+
+        Faithfully myopic: only the slackest job's *current FSM
+        resource* is tried each window — PARTIES does not reason about
+        which resource the BG jobs would benefit from.  On failure the
+        FSM advances so a different resource is tried next window.
+        """
+        if not node.bg_indices:
+            return None
+        candidates = [j for j, s in lc_slacks.items() if s > DOWNSIZE_SLACK]
+        if not candidates:
+            return None
+        donor = max(candidates, key=lambda j: lc_slacks[j])
+        if all(
+            (donor, r) in tight or config.get(donor, r) <= 1
+            for r in range(node.space.n_resources)
+        ):
+            return None  # nothing left to reclaim from the slackest job
+        resource = fsm[donor]
+        if (donor, resource) in tight or config.get(donor, resource) <= 1:
+            self._advance(fsm, donor, node.space.n_resources)
+            resource = fsm[donor]
+            if (donor, resource) in tight or config.get(donor, resource) <= 1:
+                return None  # try again next window after the FSM moved
+        receiver = min(node.bg_indices, key=lambda j: config.get(j, resource))
+        new_config = config.with_transfer(resource, donor, receiver)
+        entry = recorder.observe(new_config)
+        if _slack(entry.observation, node.jobs[donor].name) < 0:
+            tight.add((donor, resource))
+            self._advance(fsm, donor, node.space.n_resources)
+            if recorder.exhausted:
+                return new_config, entry
+            reverted = recorder.observe(config)
+            return config, reverted
+        return new_config, entry

@@ -1,0 +1,122 @@
+"""RSM — Response Surface Methodology baseline (Sec. 5.2).
+
+Implements both classical second-order designs the paper sized:
+
+* **Box-Behnken** — all ``(±1, ±1)`` combinations for every factor
+  pair with the remaining factors at mid-level, plus center points:
+  ``2k(k-1) + c`` runs (the paper quotes 130 for its 9-factor case);
+* **Central Composite** — a fractional two-level core, ``2k`` axial
+  points, and center points (the paper quotes 160 runs).
+
+Either design is observed, a thin-plate-spline response surface is fit,
+and its predicted optimum is evaluated.  As Sec. 5.2 reports, these
+static designs need 2-8x CLITE's samples and the fitted surface "did
+not work as the job mix was changed" — no per-mix adaptivity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..server.node import Node, NodeBudget
+from .base import Policy, PolicyResult, SearchRecorder
+from ._dse import evaluate_design, fit_and_probe_surface
+from .ffd import two_level_design
+
+BOX_BEHNKEN = "box-behnken"
+CENTRAL_COMPOSITE = "central-composite"
+
+
+def box_behnken_design(factors: int) -> np.ndarray:
+    """Box-Behnken design in ±1 coding (no center points), (2k(k-1), k)."""
+    if factors < 2:
+        raise ValueError("Box-Behnken needs at least two factors")
+    rows = []
+    for i in range(factors):
+        for j in range(i + 1, factors):
+            for a in (-1.0, 1.0):
+                for b in (-1.0, 1.0):
+                    row = np.zeros(factors)
+                    row[i], row[j] = a, b
+                    rows.append(row)
+    return np.array(rows)
+
+
+def central_composite_design(factors: int, alpha: float = 1.0) -> np.ndarray:
+    """Central Composite design in ±1 coding (no center points).
+
+    Uses the folded-over Hadamard screening design as the factorial
+    core plus ``2k`` axial points at ``±alpha``.
+    """
+    core = two_level_design(factors)
+    axial = []
+    for i in range(factors):
+        for sign in (-alpha, alpha):
+            row = np.zeros(factors)
+            row[i] = sign
+            axial.append(row)
+    return np.vstack([core, np.array(axial)])
+
+
+class RSMPolicy(Policy):
+    """Second-order designed experiment + RBF surface interpolation.
+
+    Args:
+        design: ``"box-behnken"`` (default) or ``"central-composite"``.
+        low: Cube coordinate the −1 level maps to.
+        high: Cube coordinate the +1 level maps to.
+        center_points: Replicated mid-level runs appended to the design.
+        candidate_pool: Lattice points scored by the fitted surface.
+        seed: Random seed (pool sampling only).
+    """
+
+    name = "RSM"
+
+    def __init__(
+        self,
+        design: str = BOX_BEHNKEN,
+        low: float = 0.1,
+        high: float = 0.9,
+        center_points: int = 6,
+        candidate_pool: int = 2000,
+        seed: Optional[int] = None,
+    ) -> None:
+        if design not in (BOX_BEHNKEN, CENTRAL_COMPOSITE):
+            raise ValueError(
+                f"design must be {BOX_BEHNKEN!r} or {CENTRAL_COMPOSITE!r}"
+            )
+        if not 0 <= low < high <= 1:
+            raise ValueError("need 0 <= low < high <= 1")
+        if center_points < 0:
+            raise ValueError("center_points must be >= 0")
+        self.design = design
+        self.low = low
+        self.high = high
+        self.center_points = center_points
+        self.candidate_pool = candidate_pool
+        self.seed = seed
+
+    def design_rows(self, n_dims: int) -> List[np.ndarray]:
+        """The full design in cube coordinates (levels already mapped)."""
+        if self.design == BOX_BEHNKEN:
+            coded = box_behnken_design(n_dims)
+        else:
+            coded = central_composite_design(n_dims)
+        mid = (self.low + self.high) / 2.0
+        half_span = (self.high - self.low) / 2.0
+        rows = [mid + row * half_span for row in coded]
+        rows.extend(np.full(n_dims, mid) for _ in range(self.center_points))
+        return rows
+
+    def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
+        rng = np.random.default_rng(self.seed)
+        recorder = SearchRecorder(node, budget)
+        cubes = evaluate_design(
+            recorder, node.space, self.design_rows(node.space.n_dims)
+        )
+        fit_and_probe_surface(
+            recorder, node, cubes, self.candidate_pool, rng
+        )
+        return recorder.result(self.name, converged=True)

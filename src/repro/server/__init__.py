@@ -1,0 +1,28 @@
+"""Simulated co-location server: node, counters, QoS monitor."""
+
+from .counters import DEFAULT_OBSERVATION_PERIOD_S, PerformanceCounters
+from .monitor import MonitorReport, QoSMonitor, Trigger
+from .node import (
+    BG_ROLE,
+    LC_ROLE,
+    Job,
+    JobObservation,
+    Node,
+    NodeBudget,
+    Observation,
+)
+
+__all__ = [
+    "BG_ROLE",
+    "DEFAULT_OBSERVATION_PERIOD_S",
+    "Job",
+    "JobObservation",
+    "LC_ROLE",
+    "MonitorReport",
+    "Node",
+    "NodeBudget",
+    "Observation",
+    "PerformanceCounters",
+    "QoSMonitor",
+    "Trigger",
+]

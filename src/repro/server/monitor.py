@@ -1,0 +1,101 @@
+"""Post-convergence monitoring and re-invocation triggers.
+
+After CLITE settles on a partition, performance is "periodically
+monitored; if the observed performance or the job mix changes, CLITE can
+be reinvoked to determine a new optimal resource partition" (Sec. 4).
+:class:`QoSMonitor` implements that watchdog: it keeps observing the
+current partition and reports when a re-optimization is warranted —
+either because an LC job started violating its QoS or because a job's
+offered load moved materially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from ..resources.allocation import Configuration
+from .node import LC_ROLE, Node, Observation
+
+
+class Trigger(Enum):
+    """Why the monitor asked for re-optimization."""
+
+    NONE = "none"
+    QOS_VIOLATION = "qos_violation"
+    LOAD_CHANGE = "load_change"
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """One monitoring period's verdict."""
+
+    observation: Observation
+    trigger: Trigger
+
+    @property
+    def reinvoke(self) -> bool:
+        return self.trigger is not Trigger.NONE
+
+
+class QoSMonitor:
+    """Watches a converged partition and flags when to re-run the search.
+
+    Args:
+        node: The server being monitored.
+        load_change_threshold: Minimum absolute change in any LC job's
+            load fraction (vs. the load when monitoring started) that
+            counts as a workload change.
+        violation_patience: Number of *consecutive* violating windows
+            required before triggering, so a single noisy reading does
+            not thrash the optimizer.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        load_change_threshold: float = 0.05,
+        violation_patience: int = 2,
+    ) -> None:
+        if load_change_threshold <= 0:
+            raise ValueError("load change threshold must be positive")
+        if violation_patience < 1:
+            raise ValueError("violation patience must be >= 1")
+        self.node = node
+        self.load_change_threshold = load_change_threshold
+        self.violation_patience = violation_patience
+        self._baseline_loads: Optional[Dict[str, float]] = None
+        self._consecutive_violations = 0
+
+    def arm(self, observation: Observation) -> None:
+        """Start monitoring from a converged observation."""
+        self._baseline_loads = {
+            j.name: j.load_fraction for j in observation.jobs if j.role == LC_ROLE
+        }
+        self._consecutive_violations = 0
+
+    def check(self, config: Configuration) -> MonitorReport:
+        """Take one monitoring window and decide whether to re-invoke."""
+        observation = self.node.observe(config)
+        if self._baseline_loads is None:
+            self.arm(observation)
+            return MonitorReport(observation, Trigger.NONE)
+
+        for job in observation.lc_jobs:
+            baseline = self._baseline_loads.get(job.name)
+            if (
+                baseline is not None
+                and abs(job.load_fraction - baseline) >= self.load_change_threshold
+            ):
+                self._consecutive_violations = 0
+                return MonitorReport(observation, Trigger.LOAD_CHANGE)
+
+        if not observation.all_qos_met:
+            self._consecutive_violations += 1
+            if self._consecutive_violations >= self.violation_patience:
+                self._consecutive_violations = 0
+                return MonitorReport(observation, Trigger.QOS_VIOLATION)
+        else:
+            self._consecutive_violations = 0
+        return MonitorReport(observation, Trigger.NONE)

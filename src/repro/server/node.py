@@ -1,0 +1,349 @@
+"""The simulated co-location server.
+
+A :class:`Node` hosts a set of latency-critical and background jobs,
+enacts resource-partition configurations through the simulated isolation
+tools, and reports what the controller would see on real hardware: per-
+job 95th-percentile latency (LC) and normalized throughput (BG), read
+through noisy performance counters over an observation window, with a
+simulated wall clock advancing as samples are taken.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..resources.allocation import Configuration, ConfigurationSpace
+from ..resources.isolation import IsolationManager
+from ..resources.spec import CORES, ServerSpec
+from ..workloads.base import BGWorkload, LCWorkload
+from ..workloads.interference import co_runner_pressure, exerted_pressure
+from ..workloads.latency import capacity_qps, p95_latency_ms
+from ..workloads.loadgen import LoadSchedule
+from ..workloads.throughput import normalized_throughput
+from .counters import DEFAULT_OBSERVATION_PERIOD_S, PerformanceCounters
+
+LC_ROLE = "LC"
+BG_ROLE = "BG"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One co-located job: a workload plus (for LC jobs) a load schedule."""
+
+    workload: Union[LCWorkload, BGWorkload]
+    load: Optional[LoadSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.is_lc:
+            if self.load is None:
+                raise ValueError(
+                    f"LC job {self.workload.name!r} needs a load schedule"
+                )
+            if not self.workload.is_calibrated():
+                raise ValueError(
+                    f"LC job {self.workload.name!r} must be calibrated "
+                    "(use repro.workloads.calibrate or the tailbench catalog)"
+                )
+        elif self.load is not None:
+            raise ValueError("BG jobs do not take a load schedule")
+
+    @property
+    def is_lc(self) -> bool:
+        return isinstance(self.workload, LCWorkload)
+
+    @property
+    def role(self) -> str:
+        return LC_ROLE if self.is_lc else BG_ROLE
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @staticmethod
+    def lc(workload: LCWorkload, load_fraction: float) -> "Job":
+        """Convenience: an LC job at a constant load fraction."""
+        return Job(workload, LoadSchedule.constant(load_fraction))
+
+    @staticmethod
+    def bg(workload: BGWorkload) -> "Job":
+        return Job(workload)
+
+
+@dataclass(frozen=True)
+class JobObservation:
+    """What the counters reported for one job over one window."""
+
+    name: str
+    role: str
+    load_fraction: Optional[float]
+    qps: Optional[float]
+    p95_ms: Optional[float]
+    qos_target_ms: Optional[float]
+    throughput_norm: Optional[float]
+
+    @property
+    def qos_met(self) -> bool:
+        """Whether the LC job met its tail-latency target (True for BG)."""
+        if self.role != LC_ROLE:
+            return True
+        return self.p95_ms <= self.qos_target_ms
+
+    @property
+    def qos_ratio(self) -> float:
+        """``min(1, target / latency)`` — the Eq. 3 per-LC-job factor."""
+        if self.role != LC_ROLE:
+            raise ValueError(f"{self.name} is not an LC job")
+        if self.p95_ms == 0:
+            return 1.0
+        return min(1.0, self.qos_target_ms / self.p95_ms)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observation window: the configuration and every job's reading."""
+
+    config: Configuration
+    time_s: float
+    window_s: float
+    jobs: Tuple[JobObservation, ...]
+
+    @property
+    def lc_jobs(self) -> Tuple[JobObservation, ...]:
+        return tuple(j for j in self.jobs if j.role == LC_ROLE)
+
+    @property
+    def bg_jobs(self) -> Tuple[JobObservation, ...]:
+        return tuple(j for j in self.jobs if j.role == BG_ROLE)
+
+    @property
+    def all_qos_met(self) -> bool:
+        return all(j.qos_met for j in self.lc_jobs)
+
+    def job(self, name: str) -> JobObservation:
+        for j in self.jobs:
+            if j.name == name:
+                return j
+        raise KeyError(f"no job named {name!r} in this observation")
+
+
+class Node:
+    """A server running a fixed set of co-located jobs.
+
+    The node is the controller's entire world: it can apply a partition
+    (:meth:`observe`) and read back per-job performance.  ``observe``
+    advances a simulated wall clock by the observation window, so load
+    schedules and convergence-time measurements behave like they would
+    online.
+
+    Args:
+        spec: The server's partitionable resources.
+        jobs: Co-located jobs; LC jobs first by convention, but any
+            order works.  Job names must be unique.
+        counters: Noise model for measurements (default: 3% log-normal).
+        window_s: Observation window (paper default: 2 s).
+    """
+
+    def __init__(
+        self,
+        spec: ServerSpec,
+        jobs: Sequence[Job],
+        counters: Optional[PerformanceCounters] = None,
+        window_s: float = DEFAULT_OBSERVATION_PERIOD_S,
+    ) -> None:
+        if not jobs:
+            raise ValueError("a node needs at least one job")
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        if window_s <= 0:
+            raise ValueError("observation window must be positive")
+        self.spec = spec
+        self.jobs: Tuple[Job, ...] = tuple(jobs)
+        self.space = ConfigurationSpace(spec, len(self.jobs))
+        self.counters = counters if counters is not None else PerformanceCounters()
+        self.window_s = window_s
+        self.isolation = IsolationManager(spec)
+        self._clock_s = 0.0
+        self._history: List[Observation] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def lc_indices(self) -> Tuple[int, ...]:
+        return tuple(i for i, j in enumerate(self.jobs) if j.is_lc)
+
+    @property
+    def bg_indices(self) -> Tuple[int, ...]:
+        return tuple(i for i, j in enumerate(self.jobs) if not j.is_lc)
+
+    @property
+    def clock_s(self) -> float:
+        """Simulated wall-clock time."""
+        return self._clock_s
+
+    @property
+    def history(self) -> Tuple[Observation, ...]:
+        """Every observation taken so far (oldest first)."""
+        return tuple(self._history)
+
+    @property
+    def samples_taken(self) -> int:
+        return len(self._history)
+
+    def job_names(self) -> Tuple[str, ...]:
+        return tuple(j.name for j in self.jobs)
+
+    # ------------------------------------------------------------------
+    # The physics: true performance of a configuration
+    # ------------------------------------------------------------------
+    def _shares(self, config: Configuration, job_index: int) -> Dict[str, float]:
+        return {
+            res.name: config.get(job_index, r) / res.units
+            for r, res in enumerate(self.spec.resources)
+        }
+
+    def _pressures(self, config: Configuration, at_time: float) -> List[float]:
+        pressures = []
+        for i, job in enumerate(self.jobs):
+            if job.is_lc:
+                activity = job.load.load_at(at_time)
+            else:
+                activity = self._shares(config, i)[CORES]
+            pressures.append(exerted_pressure(job.workload, activity))
+        return pressures
+
+    def true_performance(
+        self, config: Configuration, at_time: Optional[float] = None
+    ) -> Observation:
+        """Noise-free performance of ``config`` (used by ORACLE).
+
+        Does not touch the clock, the isolation layer, or the history.
+        """
+        self.space.validate(config)
+        t = self._clock_s if at_time is None else at_time
+        pressures = self._pressures(config, t)
+        readings: List[JobObservation] = []
+        for i, job in enumerate(self.jobs):
+            shares = self._shares(config, i)
+            contention = co_runner_pressure(pressures, i)
+            if job.is_lc:
+                lc = job.workload
+                load = job.load.load_at(t)
+                qps = load * lc.max_qps
+                cores = config.get(i, self._core_index())
+                latency = p95_latency_ms(lc, qps, cores, shares, contention)
+                if math.isinf(latency):
+                    # A saturated queue still reports a finite number
+                    # over a finite window: queries that do complete
+                    # waited on the order of the window, scaled by how
+                    # overloaded the queue is.  This keeps the score
+                    # landscape graded instead of flat-zero (Sec. 4's
+                    # smoothness requirement on the objective).
+                    capacity = capacity_qps(lc, cores, shares, contention)
+                    overload = qps / capacity if capacity > 0 else 2.0
+                    latency = 1000.0 * self.window_s * max(overload, 1.0)
+                readings.append(
+                    JobObservation(
+                        name=job.name,
+                        role=LC_ROLE,
+                        load_fraction=load,
+                        qps=qps,
+                        p95_ms=latency,
+                        qos_target_ms=lc.qos_latency_ms,
+                        throughput_norm=None,
+                    )
+                )
+            else:
+                perf = normalized_throughput(job.workload, shares, contention)
+                readings.append(
+                    JobObservation(
+                        name=job.name,
+                        role=BG_ROLE,
+                        load_fraction=None,
+                        qps=None,
+                        p95_ms=None,
+                        qos_target_ms=None,
+                        throughput_norm=perf,
+                    )
+                )
+        return Observation(
+            config=config, time_s=t, window_s=self.window_s, jobs=tuple(readings)
+        )
+
+    def _core_index(self) -> int:
+        return self.spec.resource_names.index(CORES)
+
+    # ------------------------------------------------------------------
+    # The controller-facing interface
+    # ------------------------------------------------------------------
+    def observe(self, config: Configuration) -> Observation:
+        """Enact ``config``, run one observation window, read the counters.
+
+        Advances the simulated clock by the window length and appends
+        the (noisy) observation to the node's history.
+        """
+        self.isolation.apply(config)
+        truth = self.true_performance(config, at_time=self._clock_s)
+        noisy_jobs = []
+        for reading in truth.jobs:
+            if reading.role == LC_ROLE:
+                noisy_jobs.append(
+                    replace(
+                        reading,
+                        p95_ms=self.counters.read(reading.p95_ms, self.window_s),
+                    )
+                )
+            else:
+                noisy_jobs.append(
+                    replace(
+                        reading,
+                        throughput_norm=self.counters.read(
+                            reading.throughput_norm, self.window_s
+                        ),
+                    )
+                )
+        observation = Observation(
+            config=config,
+            time_s=self._clock_s,
+            window_s=self.window_s,
+            jobs=tuple(noisy_jobs),
+        )
+        self._clock_s += self.window_s
+        self._history.append(observation)
+        return observation
+
+    def advance(self, seconds: float) -> None:
+        """Let simulated time pass without taking a sample."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._clock_s += seconds
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Fresh clock, history, isolation state, and (optionally) noise."""
+        self._clock_s = 0.0
+        self._history.clear()
+        self.isolation.reset()
+        if seed is not None:
+            self.counters.reseed(seed)
+
+
+@dataclass(frozen=True)
+class NodeBudget:
+    """Sampling limits shared by every policy for fair comparisons.
+
+    Attributes:
+        max_samples: Upper bound on observation windows a policy may take.
+    """
+
+    max_samples: int = 100
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ValueError("budget must allow at least one sample")

@@ -1,0 +1,135 @@
+"""Discrete-event simulation of the queueing models (validation layer).
+
+The latency substrate rests on closed-form M/M/1 and M/M/c results; this
+module provides an independent check: a small event-driven simulator
+that generates Poisson arrivals, exponential service, FCFS queueing over
+``c`` servers, and (for the LC model) the two-stage serial-then-parallel
+tandem.  The test suite compares its empirical sojourn percentiles with
+the analytic formulas in :mod:`repro.workloads.latency`, so a bug in
+either implementation shows up as a disagreement.
+
+Not used on any hot path — the controllers always query the analytic
+model; this exists so the physics are *verified*, not just asserted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Empirical sojourn-time statistics from one simulation run."""
+
+    sojourn_times_s: np.ndarray
+    utilization: float
+
+    def quantile(self, percentile: float = 0.95) -> float:
+        if not 0 < percentile < 1:
+            raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+        return float(np.quantile(self.sojourn_times_s, percentile))
+
+    @property
+    def mean(self) -> float:
+        return float(self.sojourn_times_s.mean())
+
+
+def simulate_mmc(
+    arrival_rate: float,
+    service_rate: float,
+    servers: int,
+    n_customers: int = 50_000,
+    warmup: int = 2_000,
+    seed: Optional[int] = 0,
+) -> SimulationResult:
+    """Simulate an FCFS M/M/c queue and collect sojourn times.
+
+    Args:
+        arrival_rate: Poisson arrival intensity (1/s).
+        service_rate: Per-server exponential service rate (1/s).
+        servers: Number of parallel servers, >= 1.
+        n_customers: Customers to simulate (after warmup discard).
+        warmup: Leading customers dropped to wash out the empty start.
+        seed: RNG seed.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if arrival_rate >= servers * service_rate:
+        raise ValueError("simulating an unstable queue never converges")
+    if n_customers <= warmup:
+        raise ValueError("need more customers than warmup")
+
+    rng = np.random.default_rng(seed)
+    total = n_customers + warmup
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, total))
+    services = rng.exponential(1.0 / service_rate, total)
+
+    # c servers as a min-heap of next-free times.
+    free_at: List[float] = [0.0] * servers
+    heapq.heapify(free_at)
+    sojourn = np.empty(total)
+    busy_time = 0.0
+    for i in range(total):
+        start = max(arrivals[i], free_at[0])
+        finish = start + services[i]
+        heapq.heapreplace(free_at, finish)
+        sojourn[i] = finish - arrivals[i]
+        busy_time += services[i]
+    horizon = max(max(free_at), arrivals[-1])
+    return SimulationResult(
+        sojourn_times_s=sojourn[warmup:],
+        utilization=busy_time / (servers * horizon),
+    )
+
+
+def simulate_tandem(
+    arrival_rate: float,
+    serial_rate: float,
+    parallel_rate: float,
+    servers: int,
+    n_customers: int = 50_000,
+    warmup: int = 2_000,
+    seed: Optional[int] = 0,
+) -> SimulationResult:
+    """Simulate the LC model's tandem: M/M/1 serial stage -> M/M/c stage.
+
+    Departures of the serial stage feed the parallel stage (FCFS both);
+    the recorded sojourn is end-to-end, matching what
+    :func:`repro.workloads.latency.p95_latency_ms` approximates.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if min(arrival_rate, serial_rate, parallel_rate) <= 0:
+        raise ValueError("rates must be positive")
+    if arrival_rate >= serial_rate or arrival_rate >= servers * parallel_rate:
+        raise ValueError("simulating an unstable tandem never converges")
+    if n_customers <= warmup:
+        raise ValueError("need more customers than warmup")
+
+    rng = np.random.default_rng(seed)
+    total = n_customers + warmup
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, total))
+    serial_services = rng.exponential(1.0 / serial_rate, total)
+    parallel_services = rng.exponential(1.0 / parallel_rate, total)
+
+    serial_free = 0.0
+    free_at: List[float] = [0.0] * servers
+    heapq.heapify(free_at)
+    sojourn = np.empty(total)
+    for i in range(total):
+        serial_start = max(arrivals[i], serial_free)
+        serial_free = serial_start + serial_services[i]
+        parallel_start = max(serial_free, free_at[0])
+        finish = parallel_start + parallel_services[i]
+        heapq.heapreplace(free_at, finish)
+        sojourn[i] = finish - arrivals[i]
+    return SimulationResult(
+        sojourn_times_s=sojourn[warmup:],
+        utilization=arrival_rate / serial_rate,
+    )

@@ -1,0 +1,42 @@
+"""Contention on unpartitioned shared hardware.
+
+Even with cores, LLC ways, and memory bandwidth partitioned, co-located
+jobs still interfere through hardware no isolation tool covers:
+prefetchers, the ring interconnect, SMT port sharing, the memory
+controller's row buffers.  The paper relies on partitioning capturing
+*most* of the interference; this module supplies the mild residual
+coupling that keeps observations from being perfectly separable, which
+is part of what makes the optimization problem noisy and non-convex.
+
+Each job exerts ``pressure * activity`` on the shared substrate, where
+*activity* is the job's load fraction (LC) or its core share (BG).  A
+job experiences the sum of every co-runner's pressure, scaled by its own
+``contention_sensitivity`` inside the latency/throughput models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Workload
+
+
+def exerted_pressure(workload: Workload, activity: float) -> float:
+    """Pressure one job places on unpartitioned hardware.
+
+    Args:
+        workload: The job.
+        activity: How busy the job is, in [0, 1] (load fraction for LC
+            jobs, core share for BG jobs).
+    """
+    return workload.pressure * min(max(activity, 0.0), 1.0)
+
+
+def co_runner_pressure(
+    pressures: Sequence[float],
+    victim_index: int,
+) -> float:
+    """Total pressure felt by ``victim_index`` from every other job."""
+    if not 0 <= victim_index < len(pressures):
+        raise IndexError(f"victim index {victim_index} out of range")
+    return sum(p for i, p in enumerate(pressures) if i != victim_index)

@@ -1,0 +1,242 @@
+"""Tail-latency model for latency-critical jobs.
+
+An LC job is modelled as a two-stage tandem queue:
+
+* a **serial stage** — an M/M/1 queue representing the job's own
+  software bottleneck (a global lock, the network stack, a GC thread).
+  A request spends ``serial_fraction`` of its work here regardless of
+  how many cores the job holds.  This stage is what saturates first in
+  real Tailbench services and is why their maximum load sits far below
+  ``cores x per-core-rate`` — and, crucially, it is *per job*, so two
+  jobs at 100% of their own maximum load can still share one machine.
+* a **parallel stage** — an M/M/c queue over the job's ``c`` allocated
+  cores, handling the remaining ``1 - serial_fraction`` of the work.
+
+Both stages' service rates scale with the job's share of every non-core
+resource (LLC ways, memory bandwidth, ...) through its sensitivity
+profile, so cache and bandwidth trade off against cores: that is the
+"resource equivalence class" property of Sec. 2 / Fig. 1 of the paper.
+The 95th-percentile sojourn time diverges as either stage approaches
+saturation, giving the QPS-vs-latency knees of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Tuple
+
+from .base import LCWorkload
+
+#: Latency reported when a queue is saturated (arrival rate >= capacity).
+SATURATED_LATENCY_MS = float("inf")
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability an arriving query waits, for an M/M/c queue.
+
+    Args:
+        servers: Number of servers ``c`` (cores), >= 1.
+        offered_load: ``a = arrival_rate / service_rate`` in Erlangs;
+            values at or above ``servers`` return 1.0 (saturated).
+
+    Uses the numerically stable Erlang-B recurrence
+    ``B(k) = a*B(k-1) / (k + a*B(k-1))`` and the identity
+    ``C = B / (1 - rho * (1 - B))``.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    rho = offered_load / servers
+    if rho >= 1.0:
+        return 1.0
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+def mm1_sojourn_quantile(
+    arrival_rate: float, service_rate: float, percentile: float = 0.95
+) -> float:
+    """Quantile of M/M/1 response time (exactly Exp(mu - lambda)), seconds."""
+    if not 0 < percentile < 1:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if service_rate <= 0 or arrival_rate >= service_rate:
+        return float("inf")
+    return -math.log(1.0 - percentile) / (service_rate - arrival_rate)
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean M/M/1 response time ``1 / (mu - lambda)``, seconds."""
+    if service_rate <= 0 or arrival_rate >= service_rate:
+        return float("inf")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mmc_sojourn_quantile(
+    arrival_rate: float,
+    service_rate: float,
+    servers: int,
+    percentile: float = 0.95,
+) -> float:
+    """The ``percentile`` quantile of M/M/c response (sojourn) time, seconds.
+
+    The sojourn time is ``S + W`` where ``S ~ Exp(mu)`` is service and the
+    wait ``W`` is zero with probability ``1 - Pw`` and ``Exp(c*mu - lambda)``
+    with probability ``Pw`` (the Erlang-C waiting probability).  The CDF
+    of that mixture has a closed form, which we invert by bisection.
+
+    Returns ``inf`` if the queue is saturated (``lambda >= c*mu``).
+    """
+    if not 0 < percentile < 1:
+        raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+    if service_rate <= 0:
+        return float("inf")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be >= 0, got {arrival_rate}")
+    mu = service_rate
+    lam = arrival_rate
+    c = servers
+    if lam >= c * mu:
+        return float("inf")
+    if lam == 0:
+        return -math.log(1.0 - percentile) / mu
+
+    p_wait = erlang_c(c, lam / mu)
+    nu = c * mu - lam  # conditional wait is Exp(nu)
+
+    def cdf(t: float) -> float:
+        f_service = 1.0 - math.exp(-mu * t)
+        if abs(nu - mu) < 1e-12 * mu:
+            # Exp(mu) + Exp(mu) is Erlang-2.
+            f_sum = 1.0 - math.exp(-mu * t) * (1.0 + mu * t)
+        else:
+            f_sum = 1.0 - (
+                nu * math.exp(-mu * t) - mu * math.exp(-nu * t)
+            ) / (nu - mu)
+        return (1.0 - p_wait) * f_service + p_wait * f_sum
+
+    lo, hi = 0.0, 1.0 / mu
+    while cdf(hi) < percentile:
+        hi *= 2.0
+        if hi > 1e9:  # pathological; treat as saturated
+            return float("inf")
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < percentile:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def mmc_mean_sojourn(
+    arrival_rate: float, service_rate: float, servers: int
+) -> float:
+    """Mean M/M/c response time ``1/mu + Pw / (c*mu - lambda)``, seconds."""
+    if service_rate <= 0 or arrival_rate >= servers * service_rate:
+        return float("inf")
+    p_wait = erlang_c(servers, arrival_rate / service_rate)
+    return 1.0 / service_rate + p_wait / (servers * service_rate - arrival_rate)
+
+
+def effective_service_rate(
+    workload: LCWorkload,
+    shares: Mapping[str, float],
+    contention: float = 0.0,
+) -> float:
+    """Unit-work completion rate under the given non-core shares.
+
+    This is the rate at which one request's *total* work would complete
+    on ideal hardware: ``base_service_rate`` scaled by the workload's
+    non-core sensitivity profile and degraded by co-runner ``contention``
+    on unpartitioned hardware (:mod:`repro.workloads.interference`).
+    The tandem stages split this rate via ``serial_fraction``.
+    """
+    degradation = 1.0 / (1.0 + workload.contention_sensitivity * max(contention, 0.0))
+    return workload.base_service_rate * workload.non_core_multiplier(shares) * degradation
+
+
+def stage_rates(
+    workload: LCWorkload,
+    shares: Mapping[str, float],
+    contention: float = 0.0,
+) -> Tuple[float, float]:
+    """Service rates ``(mu_serial, mu_parallel)`` of the tandem stages.
+
+    A request whose total work completes at rate ``mu`` spends
+    ``serial_fraction`` of it in the single-threaded stage (rate
+    ``mu / sigma``) and the rest in the parallel stage (per-core rate
+    ``mu / (1 - sigma)``).  A zero ``serial_fraction`` yields an
+    infinite serial rate, i.e. no serial stage.
+    """
+    mu = effective_service_rate(workload, shares, contention)
+    sigma = workload.serial_fraction
+    mu_serial = math.inf if sigma == 0 else mu / sigma
+    mu_parallel = mu / (1.0 - sigma)
+    return mu_serial, mu_parallel
+
+
+def capacity_qps(
+    workload: LCWorkload,
+    cores: int,
+    shares: Mapping[str, float],
+    contention: float = 0.0,
+) -> float:
+    """Saturation throughput: the slower of the two stages' capacities.
+
+    ``min(mu/sigma, c * mu/(1-sigma))`` — for enough cores the job's own
+    serial bottleneck caps throughput, which is why maximum load barely
+    grows past a handful of cores (and why co-locating several LC jobs
+    at high load is possible at all).
+    """
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    mu_serial, mu_parallel = stage_rates(workload, shares, contention)
+    return min(mu_serial, cores * mu_parallel)
+
+
+def p95_latency_ms(
+    workload: LCWorkload,
+    qps: float,
+    cores: int,
+    shares: Mapping[str, float],
+    contention: float = 0.0,
+    percentile: float = 0.95,
+) -> float:
+    """95th-percentile latency (ms) of ``workload`` at ``qps`` load.
+
+    The tandem-queue tail is approximated as the larger stage's quantile
+    plus the other stage's mean — exact for a single dominant stage,
+    slightly conservative in between, and monotone in both utilizations.
+
+    Args:
+        workload: The LC job.
+        qps: Absolute arrival rate in queries/second.
+        cores: Cores allocated to the job (M/M/c servers).
+        shares: Fractional shares of non-core resources.
+        contention: Co-runner pressure on unpartitioned resources.
+        percentile: Tail percentile (default 0.95, as in the paper).
+    """
+    if qps < 0:
+        raise ValueError(f"qps must be >= 0, got {qps}")
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    mu_serial, mu_parallel = stage_rates(workload, shares, contention)
+
+    q_parallel = mmc_sojourn_quantile(qps, mu_parallel, cores, percentile)
+    if math.isinf(mu_serial):
+        total_s = q_parallel
+    else:
+        q_serial = mm1_sojourn_quantile(qps, mu_serial, percentile)
+        if math.isinf(q_serial) or math.isinf(q_parallel):
+            return SATURATED_LATENCY_MS
+        m_serial = mm1_mean_sojourn(qps, mu_serial)
+        m_parallel = mmc_mean_sojourn(qps, mu_parallel, cores)
+        total_s = max(q_serial + m_parallel, q_parallel + m_serial)
+    if math.isinf(total_s):
+        return SATURATED_LATENCY_MS
+    return total_s * 1000.0

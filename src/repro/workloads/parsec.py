@@ -1,0 +1,171 @@
+"""Synthetic analogues of the PARSEC background workloads.
+
+The six throughput-oriented BG workloads of Table 3.  Core-scaling
+curves and resource sensitivities follow the well-characterized PARSEC
+behaviour the paper leans on:
+
+* **blackscholes (BS)** — embarrassingly parallel option pricing;
+  near-linear core scaling, almost no cache/bandwidth sensitivity.
+* **canneal (CN)** — cache-aware simulated annealing; memory-latency
+  bound, strongly LLC-sensitive, weak core scaling.
+* **fluidanimate (FA)** — fluid dynamics; scales well with cores and is
+  bandwidth-hungry.
+* **freqmine (FM)** — frequent itemset mining; large working set, LLC
+  sensitive.
+* **streamcluster (SC)** — online stream clustering; the classic
+  streaming kernel, dominated by memory bandwidth with a significant
+  LLC component (Fig. 9a shows CLITE handing it LLC ways).
+* **swaptions (SW)** — Monte-Carlo swaption pricing; pure compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import BGWorkload, ResourceProfile, SensitivityCurve
+from ..resources.spec import LLC_WAYS, MEMORY_BANDWIDTH, MEMORY_CAPACITY
+
+BG_NAMES = (
+    "blackscholes",
+    "canneal",
+    "fluidanimate",
+    "freqmine",
+    "streamcluster",
+    "swaptions",
+)
+
+#: Table 3 acronyms, used by the Fig. 14 bench and reports.
+BG_ACRONYMS = {
+    "blackscholes": "BS",
+    "canneal": "CN",
+    "fluidanimate": "FA",
+    "freqmine": "FM",
+    "streamcluster": "SC",
+    "swaptions": "SW",
+}
+
+
+def _blackscholes() -> BGWorkload:
+    return BGWorkload(
+        name="blackscholes",
+        description="Option pricing with the Black-Scholes PDE (PARSEC)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.1, shape=6.0),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.2, shape=5.0),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=0.5, floor=0.0),
+        pressure=0.15,
+        contention_sensitivity=0.05,
+        base_throughput=100.0,
+    )
+
+
+def _canneal() -> BGWorkload:
+    return BGWorkload(
+        name="canneal",
+        description="Cache-aware simulated annealing for chip design (PARSEC)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=1.1, shape=2.0, floor=0.20),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.7, shape=3.0, floor=0.25),
+                MEMORY_CAPACITY: SensitivityCurve(weight=0.5, shape=3.0, floor=0.30),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=3.0, floor=0.0),
+        pressure=0.35,
+        contention_sensitivity=0.12,
+        base_throughput=100.0,
+    )
+
+
+def _fluidanimate() -> BGWorkload:
+    return BGWorkload(
+        name="fluidanimate",
+        description="Fluid dynamics for animation (PARSEC)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.4, shape=4.0, floor=0.30),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.9, shape=2.5, floor=0.20),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=1.0, floor=0.0),
+        pressure=0.30,
+        contention_sensitivity=0.10,
+        base_throughput=100.0,
+    )
+
+
+def _freqmine() -> BGWorkload:
+    return BGWorkload(
+        name="freqmine",
+        description="Frequent itemset mining (PARSEC)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=1.1, shape=2.0, floor=0.20),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.5, shape=3.5, floor=0.30),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=1.5, floor=0.0),
+        pressure=0.30,
+        contention_sensitivity=0.10,
+        base_throughput=100.0,
+    )
+
+
+def _streamcluster() -> BGWorkload:
+    return BGWorkload(
+        name="streamcluster",
+        description="Online clustering of an input stream (PARSEC)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.9, shape=2.5, floor=0.20),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=1.3, shape=1.5, floor=0.15),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=1.5, floor=0.0),
+        pressure=0.45,
+        contention_sensitivity=0.12,
+        base_throughput=100.0,
+    )
+
+
+def _swaptions() -> BGWorkload:
+    return BGWorkload(
+        name="swaptions",
+        description="Monte-Carlo pricing of a swaption portfolio (PARSEC)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.1, shape=6.0),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.1, shape=6.0),
+            }
+        ),
+        core_curve=SensitivityCurve(weight=1.0, shape=0.6, floor=0.0),
+        pressure=0.10,
+        contention_sensitivity=0.05,
+        base_throughput=100.0,
+    )
+
+
+_FACTORIES = {
+    "blackscholes": _blackscholes,
+    "canneal": _canneal,
+    "fluidanimate": _fluidanimate,
+    "freqmine": _freqmine,
+    "streamcluster": _streamcluster,
+    "swaptions": _swaptions,
+}
+
+
+def bg_workload(name: str) -> BGWorkload:
+    """Build one PARSEC BG workload by name (acronyms also accepted)."""
+    full = {v: k for k, v in BG_ACRONYMS.items()}.get(name.upper(), name)
+    if full not in _FACTORIES:
+        raise KeyError(f"unknown BG workload {name!r}; choose from {BG_NAMES}")
+    return _FACTORIES[full]()
+
+
+def parsec_catalog() -> Dict[str, BGWorkload]:
+    """All six PARSEC BG workloads (Table 3), keyed by name."""
+    return {name: _FACTORIES[name]() for name in BG_NAMES}

@@ -1,0 +1,173 @@
+"""Synthetic analogues of the Tailbench latency-critical workloads.
+
+The five LC workloads of Table 3, each with a resource-sensitivity
+profile calibrated to the paper's qualitative observations:
+
+* **img-dnn** — image-recognition inference; sensitive to cores and LLC
+  ways more than memory bandwidth (Sec. 5.2, Fig. 9 discussion).
+* **masstree** — in-memory key-value tree; strongly memory-bandwidth
+  sensitive (Fig. 9 discussion), low absolute QPS (Sec. 5.1 notes loads
+  as low as 100 QPS).
+* **memcached** — very fast key-value operations, core-hungry, only
+  mildly cache-sensitive; driven by a Mutilate-like open-loop generator.
+* **specjbb** — Java middleware; heap-resident, so sensitive to memory
+  capacity and moderately to LLC and bandwidth.
+* **xapian** — online search over the English Wikipedia; index probes
+  make it LLC-sensitive with a disk-bandwidth component.
+
+Profiles mention resources beyond the default three-resource server
+(memory capacity, disk, network); those curves are simply inert unless
+the server partitions them, matching how unmanaged resources behave on
+real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import LCWorkload, ResourceProfile, SensitivityCurve
+from .loadgen import calibrate
+from ..resources.spec import (
+    DISK_BANDWIDTH,
+    LLC_WAYS,
+    MEMORY_BANDWIDTH,
+    MEMORY_CAPACITY,
+    NETWORK_BANDWIDTH,
+    ServerSpec,
+    default_server,
+)
+
+LC_NAMES = ("img-dnn", "masstree", "memcached", "specjbb", "xapian")
+
+
+def _img_dnn() -> LCWorkload:
+    return LCWorkload(
+        name="img-dnn",
+        description="Image recognition (Tailbench)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=1.2, shape=3.5, floor=0.20),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.4, shape=5.0, floor=0.30),
+                MEMORY_CAPACITY: SensitivityCurve(weight=0.3, shape=5.0, floor=0.30),
+            }
+        ),
+        pressure=0.30,
+        contention_sensitivity=0.06,
+        base_service_rate=350.0,
+        serial_fraction=0.35,
+    )
+
+
+def _masstree() -> LCWorkload:
+    return LCWorkload(
+        name="masstree",
+        description="Key-value store (Tailbench)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.5, shape=5.0, floor=0.30),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=1.3, shape=3.0, floor=0.15),
+                MEMORY_CAPACITY: SensitivityCurve(weight=0.6, shape=3.0, floor=0.30),
+            }
+        ),
+        pressure=0.35,
+        contention_sensitivity=0.07,
+        base_service_rate=150.0,
+        serial_fraction=0.45,
+    )
+
+
+def _memcached() -> LCWorkload:
+    return LCWorkload(
+        name="memcached",
+        description="Key-value store (memcached) with Mutilate load generator",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.3, shape=6.0, floor=0.40),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.6, shape=4.0, floor=0.30),
+                NETWORK_BANDWIDTH: SensitivityCurve(weight=0.8, shape=3.0, floor=0.25),
+            }
+        ),
+        pressure=0.40,
+        contention_sensitivity=0.05,
+        base_service_rate=30000.0,
+        serial_fraction=0.30,
+    )
+
+
+def _specjbb() -> LCWorkload:
+    return LCWorkload(
+        name="specjbb",
+        description="Java middleware (Tailbench)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=0.8, shape=4.0, floor=0.25),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.7, shape=4.0, floor=0.25),
+                MEMORY_CAPACITY: SensitivityCurve(weight=1.0, shape=2.5, floor=0.20),
+            }
+        ),
+        pressure=0.30,
+        contention_sensitivity=0.06,
+        base_service_rate=1200.0,
+        serial_fraction=0.35,
+    )
+
+
+def _xapian() -> LCWorkload:
+    return LCWorkload(
+        name="xapian",
+        description="Online search over English Wikipedia (Tailbench)",
+        profile=ResourceProfile(
+            {
+                LLC_WAYS: SensitivityCurve(weight=1.0, shape=4.0, floor=0.25),
+                MEMORY_BANDWIDTH: SensitivityCurve(weight=0.6, shape=3.5, floor=0.30),
+                DISK_BANDWIDTH: SensitivityCurve(weight=0.5, shape=4.0, floor=0.30),
+            }
+        ),
+        pressure=0.25,
+        contention_sensitivity=0.06,
+        base_service_rate=800.0,
+        serial_fraction=0.35,
+    )
+
+
+_FACTORIES = {
+    "img-dnn": _img_dnn,
+    "masstree": _masstree,
+    "memcached": _memcached,
+    "specjbb": _specjbb,
+    "xapian": _xapian,
+}
+
+_CALIBRATION_CACHE: Dict[tuple, LCWorkload] = {}
+
+
+def lc_workload(
+    name: str,
+    server: Optional[ServerSpec] = None,
+    calibrated: bool = True,
+) -> LCWorkload:
+    """Build one Tailbench LC workload by name.
+
+    With ``calibrated=True`` (the default) the workload's QoS target and
+    maximum load are derived from the knee of its isolated QPS-vs-p95
+    curve on ``server`` (Fig. 6 methodology).  Calibrations are cached
+    per (workload, server).
+    """
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown LC workload {name!r}; choose from {LC_NAMES}")
+    workload = _FACTORIES[name]()
+    if not calibrated:
+        return workload
+    server = server or default_server()
+    key = (name, server.resource_names, tuple(r.units for r in server.resources))
+    if key not in _CALIBRATION_CACHE:
+        _CALIBRATION_CACHE[key] = calibrate(workload, server)
+    return _CALIBRATION_CACHE[key]
+
+
+def tailbench_catalog(
+    server: Optional[ServerSpec] = None,
+    calibrated: bool = True,
+) -> Dict[str, LCWorkload]:
+    """All five Tailbench LC workloads (Table 3), keyed by name."""
+    return {name: lc_workload(name, server, calibrated) for name in LC_NAMES}

@@ -1,0 +1,55 @@
+"""Throughput model for background (batch) jobs.
+
+A BG job's instantaneous throughput is its peak rate scaled by (a) a
+sub-linear parallel-speedup curve in its core share, (b) its sensitivity
+profile over the remaining resources, and (c) degradation from co-runner
+pressure on unpartitioned hardware.  The paper's metrics only ever use
+throughput *normalized to isolated performance* (``Colo-Perf / Iso-Perf``
+in Eq. 3), which this module provides directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .base import BGWorkload
+from ..resources.spec import CORES
+
+
+def throughput(
+    workload: BGWorkload,
+    shares: Mapping[str, float],
+    contention: float = 0.0,
+) -> float:
+    """Absolute throughput (work units/second) under the given shares.
+
+    ``shares`` must include the core share under the ``"cores"`` key;
+    missing non-core resources count as fully allocated.
+    """
+    core_share = shares.get(CORES, 1.0)
+    degradation = 1.0 / (1.0 + workload.contention_sensitivity * max(contention, 0.0))
+    return (
+        workload.base_throughput
+        * workload.core_curve.contribution(core_share)
+        * workload.non_core_multiplier(shares)
+        * degradation
+    )
+
+
+def isolated_throughput(workload: BGWorkload) -> float:
+    """Throughput with every resource fully allocated and no co-runners.
+
+    This is the ``Iso-Perf`` denominator of Eq. 3, which CLITE samples
+    during its initialization phase (the per-job maximum-allocation
+    bootstrap points).
+    """
+    return throughput(workload, {}, contention=0.0)
+
+
+def normalized_throughput(
+    workload: BGWorkload,
+    shares: Mapping[str, float],
+    contention: float = 0.0,
+) -> float:
+    """``Colo-Perf / Iso-Perf`` in ``(0, 1]`` — the paper's BG metric."""
+    return throughput(workload, shares, contention) / isolated_throughput(workload)

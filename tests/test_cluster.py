@@ -1,0 +1,239 @@
+"""Unit and integration tests for cluster-level placement."""
+
+import pytest
+
+from repro.cluster import (
+    CLITEPlacement,
+    Cluster,
+    DedicatedPlacement,
+    FirstFitPlacement,
+    JobRequest,
+    utilization_summary,
+    verify_node,
+)
+from repro.cluster.state import ClusterNode
+from repro.core import CLITEConfig
+
+from conftest import make_bg, make_lc
+
+
+FAST_ENGINE = CLITEConfig(
+    max_iterations=10,
+    post_qos_iterations=3,
+    refine_budget=5,
+    confirm_top=1,
+    n_restarts=3,
+)
+
+
+def lc_request(name: str, load: float = 0.3) -> JobRequest:
+    return JobRequest(make_lc(name), load, name=name)
+
+
+def bg_request(name: str) -> JobRequest:
+    return JobRequest(make_bg(name), name=name)
+
+
+class TestJobRequest:
+    def test_lc_needs_load(self):
+        with pytest.raises(ValueError, match="need a load"):
+            JobRequest(make_lc())
+
+    def test_bg_rejects_load(self):
+        with pytest.raises(ValueError, match="do not take a load"):
+            JobRequest(make_bg(), 0.5)
+
+    def test_load_bounds(self):
+        with pytest.raises(ValueError):
+            JobRequest(make_lc(), 0.0)
+        with pytest.raises(ValueError):
+            JobRequest(make_lc(), 1.5)
+
+    def test_request_name_defaults_to_workload(self):
+        assert JobRequest(make_bg("canneal-like")).request_name == "canneal-like"
+        assert JobRequest(make_bg(), name="batch-7").request_name == "batch-7"
+
+    def test_to_job_renames(self):
+        request = JobRequest(make_lc("svc"), 0.4, name="svc-2")
+        job = request.to_job()
+        assert job.name == "svc-2"
+        assert job.is_lc
+        assert job.load.load_at(0) == 0.4
+
+
+class TestClusterNode:
+    def test_can_host_rejects_duplicates(self, mini_server):
+        node = ClusterNode(0, mini_server).with_request(lc_request("a"))
+        assert not node.can_host(lc_request("a"))
+        assert node.can_host(lc_request("b"))
+
+    def test_can_host_respects_max_jobs(self, mini_server):
+        node = ClusterNode(0, mini_server)
+        for i in range(mini_server.max_jobs()):
+            node = node.with_request(bg_request(f"j{i}"))
+        assert not node.can_host(bg_request("overflow"))
+
+    def test_with_request_immutable(self, mini_server):
+        node = ClusterNode(0, mini_server)
+        node.with_request(lc_request("a"))
+        assert node.n_jobs == 0
+
+    def test_build_node(self, mini_server):
+        node_state = ClusterNode(0, mini_server).with_request(lc_request("a"))
+        node_state = node_state.with_request(bg_request("b"))
+        node = node_state.build_node(seed=0)
+        assert node.job_names() == ("a", "b")
+
+    def test_build_empty_rejected(self, mini_server):
+        with pytest.raises(ValueError, match="empty"):
+            ClusterNode(0, mini_server).build_node()
+
+
+class TestCluster:
+    def test_construction(self, mini_server):
+        cluster = Cluster(n_nodes=3, spec=mini_server)
+        assert cluster.machines_used() == 0
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)
+
+    def test_place_and_bookkeeping(self, mini_server):
+        cluster = Cluster(n_nodes=3, spec=mini_server)
+        cluster.place(1, lc_request("a"))
+        cluster.place(1, bg_request("b"))
+        assert cluster.machines_used() == 1
+        assert cluster.placements() == {"a": 1, "b": 1}
+
+
+class TestVerifyNode:
+    def test_feasible_node_verifies(self, mini_server):
+        state = (
+            ClusterNode(0, mini_server)
+            .with_request(lc_request("a", 0.3))
+            .with_request(bg_request("b"))
+        )
+        qos, bg = verify_node(state, FAST_ENGINE, seed=0)
+        assert qos
+        assert bg is not None and 0 < bg <= 1
+
+    def test_lc_only_node_reports_no_bg(self, mini_server):
+        state = ClusterNode(0, mini_server).with_request(lc_request("a", 0.3))
+        qos, bg = verify_node(state, FAST_ENGINE, seed=0)
+        assert qos
+        assert bg is None
+
+
+class TestPolicies:
+    @pytest.fixture
+    def stream(self):
+        return [
+            lc_request("svc-1", 0.3),
+            lc_request("svc-2", 0.3),
+            bg_request("batch-1"),
+            bg_request("batch-2"),
+        ]
+
+    def test_dedicated_one_per_machine(self, mini_server, stream):
+        cluster = Cluster(n_nodes=6, spec=mini_server)
+        out = DedicatedPlacement(verify=False).place(cluster, stream)
+        assert out.machines_used == 4
+        assert len(set(out.placements.values())) == 4
+        assert out.rejected == ()
+
+    def test_dedicated_rejects_when_full(self, mini_server, stream):
+        cluster = Cluster(n_nodes=2, spec=mini_server)
+        out = DedicatedPlacement(verify=False).place(cluster, stream)
+        assert out.machines_used == 2
+        assert len(out.rejected) == 2
+
+    def test_first_fit_packs(self, mini_server, stream):
+        cluster = Cluster(n_nodes=6, spec=mini_server)
+        out = FirstFitPlacement(max_jobs_per_node=4, verify=False).place(
+            cluster, stream
+        )
+        assert out.machines_used == 1
+
+    def test_first_fit_cap(self, mini_server, stream):
+        cluster = Cluster(n_nodes=6, spec=mini_server)
+        out = FirstFitPlacement(max_jobs_per_node=2, verify=False).place(
+            cluster, stream
+        )
+        assert out.machines_used == 2
+
+    def test_clite_placement_meets_qos(self, mini_server, stream):
+        cluster = Cluster(n_nodes=6, spec=mini_server)
+        policy = CLITEPlacement(
+            max_jobs_per_node=3, engine_config=FAST_ENGINE
+        )
+        out = policy.place(cluster, stream, seed=0)
+        assert out.rejected == ()
+        assert out.all_qos_met
+        # It co-locates (beats dedicated) while keeping QoS.
+        assert out.machines_used < 4
+
+    def test_clite_placement_spreads_heavy_jobs(self, mini_server):
+        heavy = [
+            lc_request("hot-1", 0.9),
+            lc_request("hot-2", 0.9),
+            lc_request("hot-3", 0.9),
+        ]
+        cluster = Cluster(n_nodes=4, spec=mini_server)
+        policy = CLITEPlacement(max_jobs_per_node=3, engine_config=FAST_ENGINE)
+        out = policy.place(cluster, heavy, seed=0)
+        assert out.all_qos_met
+        # Three 90%-load services cannot share one small box.
+        assert out.machines_used >= 2
+
+    def test_utilization_summary(self, mini_server, stream):
+        cluster = Cluster(n_nodes=4, spec=mini_server)
+        out = FirstFitPlacement(verify=False).place(cluster, stream)
+        summary = utilization_summary(out, 4)
+        assert summary["machines_used"] == 1
+        assert summary["utilization"] == 0.25
+        with pytest.raises(ValueError):
+            utilization_summary(out, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FirstFitPlacement(max_jobs_per_node=0)
+        with pytest.raises(ValueError):
+            CLITEPlacement(max_jobs_per_node=0)
+
+
+class TestHeterogeneousCluster:
+    def test_per_node_specs(self, mini_server, tiny_server):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(n_nodes=2, specs=[mini_server, tiny_server])
+        assert cluster.nodes[0].spec is mini_server
+        assert cluster.nodes[1].spec is tiny_server
+
+    def test_spec_count_mismatch_rejected(self, mini_server):
+        from repro.cluster import Cluster
+
+        with pytest.raises(ValueError, match="specs for"):
+            Cluster(n_nodes=3, specs=[mini_server])
+
+    def test_placement_respects_small_node_capacity(self, mini_server, tiny_server):
+        """A 4-unit node fits at most 4 jobs; the big node absorbs more."""
+        from repro.cluster import Cluster, FirstFitPlacement
+
+        cluster = Cluster(n_nodes=2, specs=[tiny_server, mini_server])
+        stream = [bg_request(f"b{i}") for i in range(8)]
+        out = FirstFitPlacement(max_jobs_per_node=6, verify=False).place(
+            cluster, stream
+        )
+        assert out.rejected == ()
+        # The tiny node (4 units per resource) holds at most 4 jobs.
+        tiny_jobs = [n for n, idx in out.placements.items() if idx == 0]
+        assert len(tiny_jobs) <= 4
+
+    def test_clite_placement_on_mixed_fleet(self, mini_server, tiny_server):
+        from repro.cluster import Cluster, CLITEPlacement
+
+        cluster = Cluster(n_nodes=3, specs=[tiny_server, mini_server, mini_server])
+        stream = [lc_request("svc", 0.4), bg_request("batch")]
+        out = CLITEPlacement(
+            max_jobs_per_node=3, engine_config=FAST_ENGINE
+        ).place(cluster, stream, seed=0)
+        assert out.rejected == ()
+        assert out.all_qos_met

@@ -1,0 +1,122 @@
+"""Unit tests for acquisition functions (Eq. 2 and ablation variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+)
+
+
+class TestExpectedImprovement:
+    def test_zero_std_gives_zero(self):
+        """Eq. 2's second branch: E(x) = 0 when sigma(x) = 0."""
+        ei = ExpectedImprovement(zeta=0.01)
+        values = ei(np.array([5.0]), np.array([0.0]), best=1.0)
+        assert values[0] == 0.0
+
+    def test_higher_mean_higher_ei(self):
+        ei = ExpectedImprovement()
+        values = ei(np.array([1.0, 2.0]), np.array([0.5, 0.5]), best=1.0)
+        assert values[1] > values[0]
+
+    def test_higher_std_higher_ei_below_best(self):
+        ei = ExpectedImprovement()
+        values = ei(np.array([0.5, 0.5]), np.array([0.1, 1.0]), best=1.0)
+        assert values[1] > values[0]
+
+    def test_far_below_best_nearly_zero(self):
+        ei = ExpectedImprovement()
+        values = ei(np.array([-10.0]), np.array([0.1]), best=1.0)
+        assert values[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_closed_form_at_zero_improvement(self):
+        """mu = best + zeta gives EI = sigma * phi(0) = sigma / sqrt(2*pi)."""
+        ei = ExpectedImprovement(zeta=0.01)
+        sigma = 0.3
+        values = ei(np.array([1.01]), np.array([sigma]), best=1.0)
+        assert values[0] == pytest.approx(sigma / np.sqrt(2 * np.pi))
+
+    def test_zeta_discourages_exploitation(self):
+        mean = np.array([1.05])
+        std = np.array([0.01])
+        eager = ExpectedImprovement(zeta=0.0)(mean, std, best=1.0)
+        cautious = ExpectedImprovement(zeta=0.1)(mean, std, best=1.0)
+        assert cautious[0] < eager[0]
+
+    def test_negative_zeta_rejected(self):
+        with pytest.raises(ValueError):
+            ExpectedImprovement(zeta=-0.01)
+
+    def test_nonnegative_everywhere(self):
+        ei = ExpectedImprovement()
+        rng = np.random.default_rng(0)
+        values = ei(rng.normal(0, 2, 100), rng.random(100), best=0.5)
+        assert (values >= 0).all()
+
+
+class TestProbabilityOfImprovement:
+    def test_bounded_by_one(self):
+        pi = ProbabilityOfImprovement()
+        rng = np.random.default_rng(1)
+        values = pi(rng.normal(0, 2, 100), rng.random(100), best=0.0)
+        assert ((0 <= values) & (values <= 1)).all()
+
+    def test_certain_improvement_with_zero_std(self):
+        pi = ProbabilityOfImprovement(zeta=0.01)
+        values = pi(np.array([5.0, -5.0]), np.array([0.0, 0.0]), best=1.0)
+        assert values[0] == 1.0
+        assert values[1] == 0.0
+
+    def test_half_at_threshold(self):
+        pi = ProbabilityOfImprovement(zeta=0.0)
+        values = pi(np.array([1.0]), np.array([0.5]), best=1.0)
+        assert values[0] == pytest.approx(0.5)
+
+
+class TestUpperConfidenceBound:
+    def test_formula(self):
+        ucb = UpperConfidenceBound(kappa=2.0)
+        values = ucb(np.array([1.0]), np.array([0.5]), best=99.0)
+        assert values[0] == pytest.approx(2.0)
+
+    def test_kappa_zero_is_posterior_mean(self):
+        ucb = UpperConfidenceBound(kappa=0.0)
+        mean = np.array([0.3, 0.7])
+        assert np.allclose(ucb(mean, np.array([1.0, 1.0]), best=0.0), mean)
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            UpperConfidenceBound(kappa=-1.0)
+
+
+@given(
+    mean=st.floats(-5, 5, allow_nan=False),
+    std=st.floats(0.0, 3.0, allow_nan=False),
+    best=st.floats(-5, 5, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_ei_nonnegative_property(mean, std, best):
+    ei = ExpectedImprovement()
+    value = ei(np.array([mean]), np.array([std]), best)[0]
+    assert value >= 0.0
+    assert np.isfinite(value)
+
+
+@given(
+    mean=st.floats(-5, 5, allow_nan=False),
+    best=st.floats(-5, 5, allow_nan=False),
+    std_lo=st.floats(0.01, 1.0, allow_nan=False),
+    bump=st.floats(0.01, 2.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_ei_monotone_in_std(mean, best, std_lo, bump):
+    """For fixed mean, more uncertainty never lowers EI."""
+    ei = ExpectedImprovement()
+    lo = ei(np.array([mean]), np.array([std_lo]), best)[0]
+    hi = ei(np.array([mean]), np.array([std_lo + bump]), best)[0]
+    assert hi >= lo - 1e-12

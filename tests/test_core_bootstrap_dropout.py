@@ -1,0 +1,130 @@
+"""Unit tests for bootstrap sampling and dropout-copy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DropoutCopy,
+    ScoreFunction,
+    bootstrap_configurations,
+    job_performance,
+    run_bootstrap,
+)
+
+from conftest import make_node
+
+
+class TestBootstrapConfigurations:
+    def test_count_is_jobs_plus_one(self, quiet_node):
+        configs = bootstrap_configurations(quiet_node.space)
+        assert len(configs) == quiet_node.n_jobs + 1
+
+    def test_first_is_equal_partition(self, quiet_node):
+        configs = bootstrap_configurations(quiet_node.space)
+        assert configs[0] == quiet_node.space.equal_partition()
+
+    def test_extrema_per_job(self, quiet_node):
+        configs = bootstrap_configurations(quiet_node.space)
+        for j in range(quiet_node.n_jobs):
+            assert configs[1 + j] == quiet_node.space.max_allocation(j)
+
+
+class TestRunBootstrap:
+    def test_records_baselines(self, quiet_node):
+        fn = ScoreFunction()
+        run_bootstrap(quiet_node, fn)
+        assert fn.iso_bg_perf("bg0") is not None
+        assert fn.iso_lc_latency("lc0") is not None
+
+    def test_observations_consumed(self, quiet_node):
+        fn = ScoreFunction()
+        result = run_bootstrap(quiet_node, fn)
+        assert quiet_node.samples_taken == quiet_node.n_jobs + 1
+        assert len(result.scores) == quiet_node.n_jobs + 1
+
+    def test_feasible_jobs_not_flagged(self, quiet_node):
+        result = run_bootstrap(quiet_node, ScoreFunction())
+        assert result.infeasible_jobs == ()
+
+    def test_impossible_job_flagged(self, mini_server):
+        # An LC job at a load its own max allocation cannot satisfy:
+        # load > 1 is disallowed, so use a tight QoS instead.
+        from repro.server import Job, Node, PerformanceCounters
+        from conftest import make_bg, make_lc
+
+        impossible = make_lc("doomed", qos_latency_ms=0.0001, max_qps=2000.0)
+        node = Node(
+            mini_server,
+            [Job.lc(impossible, 0.9), Job.bg(make_bg())],
+            counters=PerformanceCounters(relative_std=0.0),
+        )
+        result = run_bootstrap(node, ScoreFunction())
+        assert result.infeasible_jobs == ("doomed",)
+
+
+class TestJobPerformance:
+    def test_lc_performance_is_qos_ratio(self, quiet_node):
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        perf = job_performance(obs, "lc0")
+        assert perf == pytest.approx(obs.job("lc0").qos_ratio)
+
+    def test_bg_performance_is_normalized_throughput(self, quiet_node):
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        perf = job_performance(obs, "bg0")
+        assert perf == pytest.approx(
+            min(1.0, obs.job("bg0").throughput_norm)
+        )
+
+
+class TestDropoutCopy:
+    def test_no_decision_before_updates(self, quiet_node):
+        dropout = DropoutCopy(rng=np.random.default_rng(0))
+        decision = dropout.choose(quiet_node)
+        assert decision.job_index is None
+
+    def test_disabled_returns_none(self, quiet_node):
+        dropout = DropoutCopy(enabled=False, rng=np.random.default_rng(0))
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        dropout.update(obs.config, obs, quiet_node)
+        assert dropout.choose(quiet_node).job_index is None
+
+    def test_picks_best_performer(self, quiet_node):
+        dropout = DropoutCopy(random_job_prob=0.0, rng=np.random.default_rng(0))
+        config = quiet_node.space.equal_partition()
+        obs = quiet_node.true_performance(config)
+        dropout.update(config, obs, quiet_node)
+        decision = dropout.choose(quiet_node)
+        names = quiet_node.job_names()
+        perfs = [job_performance(obs, n) for n in names]
+        assert decision.job_index == int(np.argmax(perfs))
+        assert decision.allocation == config.job_allocation(decision.job_index)
+
+    def test_pins_best_allocation_not_latest(self, quiet_node):
+        dropout = DropoutCopy(random_job_prob=0.0, rng=np.random.default_rng(0))
+        good = quiet_node.space.max_allocation(0)  # lc0 at its best
+        bad = quiet_node.space.max_allocation(2)  # lc0 starved
+        dropout.update(good, quiet_node.true_performance(good), quiet_node)
+        dropout.update(bad, quiet_node.true_performance(bad), quiet_node)
+        decision = dropout.choose(quiet_node)
+        if decision.job_index == 0:
+            assert decision.allocation == good.job_allocation(0)
+
+    def test_random_pick_with_probability_one(self, quiet_node):
+        dropout = DropoutCopy(random_job_prob=1.0, rng=np.random.default_rng(1))
+        config = quiet_node.space.equal_partition()
+        dropout.update(config, quiet_node.true_performance(config), quiet_node)
+        picks = {dropout.choose(quiet_node).job_index for _ in range(40)}
+        assert len(picks) > 1  # random picks scatter across jobs
+
+    def test_best_performance_tracked(self, quiet_node):
+        dropout = DropoutCopy(rng=np.random.default_rng(0))
+        config = quiet_node.space.equal_partition()
+        obs = quiet_node.true_performance(config)
+        dropout.update(config, obs, quiet_node)
+        assert dropout.best_performance("lc0") == pytest.approx(
+            job_performance(obs, "lc0")
+        )
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DropoutCopy(random_job_prob=1.5)

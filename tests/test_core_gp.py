@@ -1,0 +1,131 @@
+"""Unit tests for the Gaussian-process surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.core import RBF, GaussianProcess, Matern52
+
+
+@pytest.fixture
+def simple_data():
+    rng = np.random.default_rng(0)
+    x = rng.random((15, 2))
+    y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1]
+    return x, y
+
+
+class TestFit:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_fit_returns_self(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess()
+        assert gp.fit(x, y) is gp
+        assert gp.is_fitted
+        assert gp.n_samples == 15
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="points but"):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_nonfinite_rejected(self):
+        gp = GaussianProcess()
+        with pytest.raises(ValueError, match="finite"):
+            gp.fit(np.array([[0.0, np.inf]]), np.array([1.0]))
+        with pytest.raises(ValueError, match="finite"):
+            gp.fit(np.array([[0.0, 0.0]]), np.array([np.nan]))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise=-1e-3)
+
+    def test_refit_replaces_data(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess().fit(x, y)
+        gp.fit(x[:5], y[:5])
+        assert gp.n_samples == 5
+
+
+class TestPredict:
+    def test_interpolates_training_points(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-3)
+        assert (std < 0.05).all()
+
+    def test_uncertainty_grows_away_from_data(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        _, std_near = gp.predict(x[:1])
+        _, std_far = gp.predict(np.array([[10.0, 10.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_far_field_reverts_to_mean(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess().fit(x, y)
+        mean, _ = gp.predict(np.array([[100.0, 100.0]]))
+        assert mean[0] == pytest.approx(y.mean(), abs=0.1)
+
+    def test_std_nonnegative(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess().fit(x, y)
+        _, std = gp.predict(np.random.default_rng(1).random((50, 2)))
+        assert (std >= 0).all()
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(2).random((6, 2))
+        gp = GaussianProcess().fit(x, np.full(6, 3.0))
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, 3.0, atol=1e-6)
+
+    def test_single_sample(self):
+        gp = GaussianProcess().fit(np.array([[0.5, 0.5]]), np.array([2.0]))
+        mean, std = gp.predict(np.array([[0.5, 0.5]]))
+        assert mean[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_prediction_shapes(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess().fit(x, y)
+        mean, std = gp.predict(np.zeros((7, 2)))
+        assert mean.shape == (7,) and std.shape == (7,)
+
+
+class TestConfiguration:
+    def test_custom_kernel_respected(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess(kernel=RBF(lengthscale=0.2), adapt_lengthscale=False)
+        gp.fit(x, y)
+        assert isinstance(gp.kernel, RBF)
+        assert gp.kernel.lengthscale == 0.2
+
+    def test_adaptive_lengthscale_changes(self, simple_data):
+        x, y = simple_data
+        gp = GaussianProcess(kernel=Matern52(lengthscale=99.0))
+        gp.fit(x, y)
+        assert gp.kernel.lengthscale != 99.0
+
+    def test_noise_regularizes(self, simple_data):
+        x, y = simple_data
+        noisy_y = y + np.random.default_rng(3).normal(0, 0.3, len(y))
+        smooth = GaussianProcess(noise=0.5).fit(x, noisy_y)
+        sharp = GaussianProcess(noise=1e-8).fit(x, noisy_y)
+        mean_smooth, _ = smooth.predict(x)
+        mean_sharp, _ = sharp.predict(x)
+        # The high-noise GP should NOT chase the noisy targets exactly.
+        assert np.abs(mean_sharp - noisy_y).mean() < np.abs(
+            mean_smooth - noisy_y
+        ).mean()
+
+    def test_duplicated_points_do_not_crash(self):
+        x = np.vstack([np.full((5, 2), 0.5), np.full((5, 2), 0.5)])
+        y = np.concatenate([np.ones(5), np.ones(5) * 1.01])
+        gp = GaussianProcess().fit(x, y)
+        mean, _ = gp.predict(np.full((1, 2), 0.5))
+        assert mean[0] == pytest.approx(1.005, abs=0.02)

@@ -1,0 +1,120 @@
+"""Unit and property tests for GP covariance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import RBF, Matern52, median_lengthscale
+
+
+@pytest.fixture
+def points():
+    rng = np.random.default_rng(0)
+    return rng.random((8, 3))
+
+
+class TestKernelBasics:
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_diagonal_equals_variance(self, kernel_cls, points):
+        kernel = kernel_cls(lengthscale=0.4, variance=2.0)
+        gram = kernel(points, points)
+        assert np.allclose(np.diag(gram), 2.0)
+
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_symmetry(self, kernel_cls, points):
+        kernel = kernel_cls()
+        gram = kernel(points, points)
+        assert np.allclose(gram, gram.T)
+
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_positive_semidefinite(self, kernel_cls, points):
+        kernel = kernel_cls(lengthscale=0.3)
+        gram = kernel(points, points)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_decreases_with_distance(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=0.5)
+        origin = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[0.9, 0.0]])
+        assert kernel(origin, near)[0, 0] > kernel(origin, far)[0, 0]
+
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_cross_covariance_shape(self, kernel_cls):
+        kernel = kernel_cls()
+        a = np.zeros((3, 4))
+        b = np.ones((5, 4))
+        assert kernel(a, b).shape == (3, 5)
+
+    def test_dimension_mismatch_rejected(self):
+        kernel = Matern52()
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            kernel(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"lengthscale": 0.0}, {"lengthscale": -1.0}, {"variance": 0.0}]
+    )
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            Matern52(**kwargs)
+
+    def test_with_lengthscale(self):
+        kernel = Matern52(lengthscale=0.3, variance=2.0)
+        updated = kernel.with_lengthscale(0.7)
+        assert updated.lengthscale == 0.7
+        assert updated.variance == 2.0
+        assert kernel.lengthscale == 0.3
+
+    def test_matern_less_smooth_than_rbf_nearby(self):
+        """Matérn-5/2 decays faster than RBF at small distances."""
+        m = Matern52(lengthscale=0.5)
+        r = RBF(lengthscale=0.5)
+        origin = np.zeros((1, 1))
+        near = np.array([[0.2]])
+        assert m(origin, near)[0, 0] < r(origin, near)[0, 0]
+
+
+class TestMedianLengthscale:
+    def test_single_point_fallback(self):
+        assert median_lengthscale(np.zeros((1, 3)), fallback=0.25) == 0.25
+
+    def test_identical_points_fallback(self):
+        x = np.ones((5, 2))
+        assert median_lengthscale(x, fallback=0.3) == 0.3
+
+    def test_scales_with_spread(self):
+        rng = np.random.default_rng(1)
+        tight = rng.random((20, 3)) * 0.1
+        wide = rng.random((20, 3))
+        assert median_lengthscale(tight) < median_lengthscale(wide)
+
+    def test_scale_factor(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((10, 2))
+        assert median_lengthscale(x, scale=1.0) == pytest.approx(
+            2 * median_lengthscale(x, scale=0.5)
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            median_lengthscale(np.zeros((2, 2)), scale=0.0)
+
+
+@given(
+    x=arrays(
+        np.float64,
+        (6, 2),
+        elements=st.floats(0, 1, allow_nan=False, allow_infinity=False),
+    ),
+    lengthscale=st.floats(0.05, 2.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_matern_gram_always_psd(x, lengthscale):
+    kernel = Matern52(lengthscale=lengthscale)
+    gram = kernel(x, x)
+    assert np.linalg.eigvalsh(gram).min() > -1e-7
+    assert np.all(gram <= kernel.variance + 1e-12)

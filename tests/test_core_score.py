@@ -1,0 +1,150 @@
+"""Unit tests for the Eq. 3 score function."""
+
+import pytest
+
+from repro.core import QOS_MET_THRESHOLD, ScoreFunction, qos_met
+
+from conftest import make_node
+
+
+@pytest.fixture
+def node(mini_server):
+    return make_node(mini_server, lc_loads=(0.4, 0.3), n_bg=1, noise=0.0)
+
+
+@pytest.fixture
+def score_fn(node):
+    fn = ScoreFunction()
+    for j, job in enumerate(node.jobs):
+        fn.record_isolation(job.name, node.true_performance(node.space.max_allocation(j)))
+    return fn
+
+
+class TestModeOne:
+    """Some LC job violates QoS -> score <= 0.5."""
+
+    def test_violation_caps_at_half(self, node, score_fn):
+        # Starve both LC jobs by giving everything to the BG job.
+        obs = node.true_performance(node.space.max_allocation(2))
+        score = score_fn(obs)
+        assert score <= 0.5
+        assert not qos_met(score)
+
+    def test_closer_to_qos_scores_higher(self, mini_server, score_fn):
+        light = make_node(mini_server, lc_loads=(0.55, 0.3), n_bg=1)
+        heavy = make_node(mini_server, lc_loads=(0.95, 0.3), n_bg=1)
+        config = light.space.max_allocation(2)
+        s_light = score_fn(light.true_performance(config))
+        s_heavy = score_fn(heavy.true_performance(config))
+        if s_light <= 0.5 and s_heavy <= 0.5:  # both violating
+            assert s_light >= s_heavy
+
+    def test_overloaded_queue_scores_low_but_graded(self, mini_server, score_fn):
+        node_hi = make_node(mini_server, lc_loads=(1.0, 0.9), n_bg=1)
+        obs = node_hi.true_performance(node_hi.space.max_allocation(2))
+        score = score_fn(obs)
+        assert 0.0 <= score < 0.1
+
+
+class TestModeTwo:
+    """Every LC job meets QoS -> 0.5 + BG term."""
+
+    def test_qos_met_scores_above_half(self, node, score_fn):
+        obs = node.true_performance(node.space.equal_partition())
+        assert obs.all_qos_met
+        score = score_fn(obs)
+        assert score > QOS_MET_THRESHOLD
+        assert qos_met(score)
+
+    def test_better_bg_scores_higher(self, node, score_fn):
+        equal = node.true_performance(node.space.equal_partition())
+        # Shift a membw unit from a slack LC job to the BG job.
+        shifted = equal.config.with_transfer(2, donor=0, receiver=2)
+        obs2 = node.true_performance(shifted)
+        if obs2.all_qos_met:
+            assert score_fn(obs2) > score_fn(equal)
+
+    def test_score_bounded_by_one(self, node, score_fn):
+        obs = node.true_performance(node.space.max_allocation(2))
+        # BG at max allocation with LC jobs violating -> mode 1 anyway,
+        # but even a perfect mode-2 score caps at 1.
+        for j in range(3):
+            score = score_fn(node.true_performance(node.space.max_allocation(j)))
+            assert 0.0 <= score <= 1.0
+        del obs
+
+
+class TestNoBGMode:
+    def test_lc_only_mix_uses_latency_improvement(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=0)
+        fn = ScoreFunction()
+        for j, job in enumerate(node.jobs):
+            fn.record_isolation(
+                job.name, node.true_performance(node.space.max_allocation(j))
+            )
+        obs = node.true_performance(node.space.equal_partition())
+        assert obs.all_qos_met
+        score = fn(obs)
+        assert 0.5 < score <= 1.0
+
+    def test_lc_only_prefers_lower_latency(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.5, 0.1), n_bg=0)
+        fn = ScoreFunction()
+        for j, job in enumerate(node.jobs):
+            fn.record_isolation(
+                job.name, node.true_performance(node.space.max_allocation(j))
+            )
+        equal = node.true_performance(node.space.equal_partition())
+        # Give the loaded job an extra core from the idle one.
+        better = node.true_performance(
+            equal.config.with_transfer(0, donor=1, receiver=0)
+        )
+        if equal.all_qos_met and better.all_qos_met:
+            assert fn(better) != fn(equal)  # latency changes move the score
+
+
+class TestBaselines:
+    def test_isolation_recorded(self, node):
+        fn = ScoreFunction()
+        obs = node.true_performance(node.space.max_allocation(2))
+        fn.record_isolation("bg0", obs)
+        assert fn.iso_bg_perf("bg0") == pytest.approx(
+            obs.job("bg0").throughput_norm
+        )
+
+    def test_lc_isolation_recorded(self, node):
+        fn = ScoreFunction()
+        obs = node.true_performance(node.space.max_allocation(0))
+        fn.record_isolation("lc0", obs)
+        assert fn.iso_lc_latency("lc0") == pytest.approx(obs.job("lc0").p95_ms)
+
+    def test_missing_baseline_defaults(self, node):
+        """Without baselines the raw normalized readings are used."""
+        fn = ScoreFunction()
+        obs = node.true_performance(node.space.equal_partition())
+        score = fn(obs)
+        assert 0.0 <= score <= 1.0
+
+    def test_saturated_isolation_not_recorded(self, mini_server):
+        node_hot = make_node(mini_server, lc_loads=(1.0,), n_bg=2)
+        fn = ScoreFunction()
+        # Starved allocation: lc0 saturates -> latency is the overload
+        # proxy, which is finite, so it IS recorded; but a plain inf
+        # would not be.  Exercise the public path anyway.
+        obs = node_hot.true_performance(node_hot.space.max_allocation(1))
+        fn.record_isolation("lc0", obs)
+        assert fn.iso_lc_latency("lc0") is None or fn.iso_lc_latency("lc0") > 0
+
+
+class TestEdgeCases:
+    def test_empty_observation_rejected(self, node, score_fn):
+        obs = node.true_performance(node.space.equal_partition())
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="no jobs"):
+            score_fn(replace(obs, jobs=()))
+
+    def test_threshold_semantics(self):
+        assert qos_met(0.5)
+        assert qos_met(0.9)
+        assert not qos_met(0.49)

@@ -1,0 +1,149 @@
+"""Behavioural tests for the engine's repair, refine, and confirm phases."""
+
+import pytest
+
+from repro.core import CLITEConfig, CLITEEngine
+
+from conftest import make_node
+
+
+def config_for_tests(**overrides):
+    defaults = dict(
+        seed=0,
+        max_iterations=16,
+        ei_min_iterations=4,
+        post_qos_iterations=4,
+        confirm_top=2,
+        refine_budget=8,
+        n_restarts=3,
+    )
+    defaults.update(overrides)
+    return CLITEConfig(**defaults)
+
+
+class TestRepairPhase:
+    def test_repair_rounds_fire_when_start_violates(self, mini_server):
+        """A heavy mix violates at the equal partition, so repair moves
+        should appear in the trace."""
+        node = make_node(mini_server, lc_loads=(0.8, 0.7), n_bg=1, noise=0.0)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        phases = [r.phase for r in result.samples]
+        if not result.samples[0].observation.all_qos_met:
+            assert "repair" in phases
+
+    def test_repair_moves_are_single_transfers(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.8, 0.7), n_bg=1, noise=0.0)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        records = list(result.samples)
+        for i, record in enumerate(records):
+            if record.phase != "repair":
+                continue
+            # A repair config differs from the then-best config by one
+            # transferred unit of one resource.
+            prior_best = max(records[:i], key=lambda r: r.score)
+            diff = abs(
+                record.config.as_array() - prior_best.config.as_array()
+            ).sum()
+            assert diff == 2
+
+    def test_no_repair_when_start_feasible(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.2, 0.2), n_bg=1, noise=0.0)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        assert result.samples[0].observation.all_qos_met
+        assert all(r.phase != "repair" for r in result.samples)
+
+
+class TestRefinePhase:
+    def test_refine_improves_or_preserves_best(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=1, noise=0.0)
+        with_refine = CLITEEngine(node, config_for_tests()).optimize()
+        node2 = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=1, noise=0.0)
+        without = CLITEEngine(
+            node2, config_for_tests(refine_budget=0)
+        ).optimize()
+        assert with_refine.best_score >= without.best_score - 0.02
+
+    def test_refine_respects_budget(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=1, noise=0.0)
+        result = CLITEEngine(
+            node, config_for_tests(refine_budget=3)
+        ).optimize()
+        refines = [r for r in result.samples if r.phase == "refine"]
+        assert len(refines) <= 3
+
+    def test_refine_skipped_without_bg_jobs(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=0, noise=0.0)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        assert all(r.phase != "refine" for r in result.samples)
+
+    def test_refine_configs_donate_from_lc_to_bg(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.2, 0.2), n_bg=1, noise=0.0)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        records = list(result.samples)
+        bg_index = 2
+        for i, record in enumerate(records):
+            if record.phase != "refine":
+                continue
+            prior = max(
+                (r for r in records[:i] if r.observation.all_qos_met),
+                key=lambda r: r.score,
+            )
+            before = sum(prior.config.job_allocation(bg_index))
+            after = sum(record.config.job_allocation(bg_index))
+            # The BG job's total allocation never shrinks during refine.
+            assert after >= before
+
+
+class TestConfirmPhase:
+    def test_confirm_samples_repeat_top_configs(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=1, noise=0.02)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        confirms = [r for r in result.samples if r.phase == "confirm"]
+        assert 1 <= len(confirms) <= 2
+        earlier = {
+            r.config.flat() for r in result.samples if r.phase != "confirm"
+        }
+        for record in confirms:
+            assert record.config.flat() in earlier
+
+    def test_best_config_comes_from_confirmed_set(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.3, 0.3), n_bg=1, noise=0.02)
+        result = CLITEEngine(node, config_for_tests()).optimize()
+        confirmed = {
+            r.config.flat() for r in result.samples if r.phase == "confirm"
+        }
+        assert result.best_config.flat() in confirmed
+
+
+class TestNoiseRobustness:
+    @pytest.mark.parametrize("noise", [0.0, 0.02, 0.08])
+    def test_qos_held_under_noise(self, mini_server, noise):
+        """Even with loud counters, the enacted partition truly meets
+        QoS on a feasible mix (the confirmation pass's whole job)."""
+        node = make_node(
+            mini_server, lc_loads=(0.3, 0.3), n_bg=1, noise=noise, seed=5
+        )
+        result = CLITEEngine(node, config_for_tests(seed=5)).optimize()
+        truth = node.true_performance(result.best_config)
+        assert truth.all_qos_met
+
+    def test_noise_spike_does_not_elect_fake_config(self, mini_server):
+        """Inject a huge one-off counter spike; the winner must still be
+        genuinely feasible."""
+        node = make_node(
+            mini_server, lc_loads=(0.5, 0.4), n_bg=1, noise=0.0, seed=1
+        )
+        original_read = node.counters.read
+        calls = {"n": 0}
+
+        def spiky_read(value, window_s=2.0):
+            calls["n"] += 1
+            if calls["n"] == 20:  # one wildly optimistic latency reading
+                return value * 0.01
+            return original_read(value, window_s)
+
+        node.counters.read = spiky_read
+        result = CLITEEngine(node, config_for_tests(seed=1)).optimize()
+        node.counters.read = original_read
+        truth = node.true_performance(result.best_config)
+        assert truth.all_qos_met

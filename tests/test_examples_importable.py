@@ -1,0 +1,36 @@
+"""The example scripts must at least import and expose a main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports_and_defines_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(getattr(module, "main", None)), f"{path.name} has no main()"
+    assert (module.__doc__ or "").strip(), f"{path.name} has no module docstring"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "policy_comparison",
+        "dynamic_load",
+        "custom_workload",
+        "cluster_scheduling",
+    } <= names

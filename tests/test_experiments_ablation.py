@@ -1,0 +1,74 @@
+"""Unit tests for the ablation-sweep API."""
+
+import pytest
+
+from repro.core import CLITEConfig, RBF
+from repro.experiments import MixSpec, run_ablation, standard_variants
+from repro.server import NodeBudget
+
+
+FAST = CLITEConfig(
+    max_iterations=8,
+    ei_min_iterations=2,
+    post_qos_iterations=2,
+    refine_budget=4,
+    confirm_top=1,
+    n_restarts=3,
+)
+
+
+class TestStandardVariants:
+    def test_all_design_choices_present(self):
+        variants = standard_variants()
+        assert set(variants) == {
+            "full CLITE",
+            "RBF kernel",
+            "PI acquisition",
+            "UCB acquisition",
+            "random bootstrap",
+            "no dropout",
+            "no constrained execution",
+            "no refinement",
+        }
+
+    def test_base_config_propagates(self):
+        variants = standard_variants(FAST)
+        assert variants["full CLITE"].max_iterations == 8
+        assert variants["no refinement"].refine_budget == 0
+        assert isinstance(variants["RBF kernel"].kernel, RBF)
+        assert not variants["random bootstrap"].informed_bootstrap
+
+
+class TestRunAblation:
+    @pytest.fixture
+    def mix(self):
+        return MixSpec.of(lc=[("memcached", 0.3)], bg=["swaptions"])
+
+    def test_outcomes_ordered_and_aggregated(self, mix):
+        variants = {
+            "full CLITE": FAST,
+            "no refinement": standard_variants(FAST)["no refinement"],
+        }
+        outcomes = run_ablation(
+            variants, [mix], seeds=(0, 1), budget=NodeBudget(40)
+        )
+        assert [o.variant for o in outcomes] == ["full CLITE", "no refinement"]
+        for outcome in outcomes:
+            assert 0.0 <= outcome.qos_rate <= 1.0
+            assert 0.0 <= outcome.mean_performance <= 1.0
+            assert outcome.mean_samples > 0
+
+    def test_easy_mix_meets_qos_in_all_variants(self, mix):
+        outcomes = run_ablation(
+            {"full CLITE": FAST}, [mix], seeds=(0,), budget=NodeBudget(40)
+        )
+        assert outcomes[0].qos_rate == 1.0
+        assert outcomes[0].mean_performance > 0
+
+    def test_validation(self, mix):
+        with pytest.raises(ValueError, match="variant"):
+            run_ablation({}, [mix])
+        with pytest.raises(ValueError, match="mix"):
+            run_ablation({"a": FAST}, [])
+        with pytest.raises(ValueError, match="seed"):
+            run_ablation({"a": FAST}, [mix], seeds=())

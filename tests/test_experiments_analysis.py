@@ -1,0 +1,219 @@
+"""Unit tests for colocation sweeps, reports, traces, and variability."""
+
+import pytest
+
+from repro.experiments import (
+    LoadGrid,
+    MixSpec,
+    allocation_series,
+    allocation_snapshot,
+    best_bg_performance_series,
+    bg_performance_grid,
+    first_qos_met_sample,
+    format_heatmap,
+    format_series,
+    format_table,
+    max_supported_load,
+    overhead_table,
+    per_job_performance,
+    qos_met_series,
+    run_repeats,
+    trial_performance,
+    variability_percent,
+)
+from repro.resources import default_server
+from repro.schedulers import OraclePolicy, PartiesPolicy
+from repro.server import NodeBudget
+
+
+ORACLE = lambda seed: OraclePolicy(max_enumeration=3000)  # noqa: E731
+PARTIES = lambda seed: PartiesPolicy()  # noqa: E731
+BUDGET = NodeBudget(40)
+
+
+class TestMaxSupportedLoad:
+    def test_easy_mix_supports_something(self):
+        mix = MixSpec.of(
+            lc=[("img-dnn", 0.1), ("memcached", 0.1)], bg=[]
+        )
+        best = max_supported_load(
+            mix, "memcached", ORACLE, loads=(0.1, 0.5, 0.9), budget=BUDGET
+        )
+        assert best is not None
+        assert best >= 0.5
+
+    def test_impossible_mix_returns_none(self):
+        mix = MixSpec.of(lc=[("img-dnn", 1.0), ("masstree", 1.0), ("memcached", 0.1)])
+        best = max_supported_load(
+            mix, "memcached", PARTIES, loads=(0.5, 1.0), budget=BUDGET
+        )
+        # PARTIES cannot handle this load point at all.
+        assert best is None or best <= 0.5
+
+    def test_monotone_stop_at_first_failure(self):
+        """The search never reports a load above a failing one."""
+        mix = MixSpec.of(lc=[("img-dnn", 0.9), ("masstree", 0.7), ("memcached", 0.1)])
+        best = max_supported_load(
+            mix, "memcached", ORACLE, loads=(0.1, 0.2, 0.4), budget=BUDGET
+        )
+        if best is not None:
+            assert best in (0.1, 0.2, 0.4)
+
+
+class TestBGPerformanceGrid:
+    def test_grid_shape_and_cells(self):
+        mix = MixSpec.of(
+            lc=[("memcached", 0.1), ("xapian", 0.1)], bg=["streamcluster"]
+        )
+        grid = bg_performance_grid(
+            mix,
+            row_job="memcached",
+            col_job="xapian",
+            bg_job="streamcluster",
+            policy_factory=ORACLE,
+            policy_name="ORACLE",
+            row_loads=(0.2, 0.8),
+            col_loads=(0.2, 0.8),
+            budget=BUDGET,
+        )
+        assert len(grid.cells) == 2
+        assert len(grid.cells[0]) == 2
+        feasible = [v for row in grid.cells for v in row if v is not None]
+        assert feasible
+        assert all(0 < v <= 1 for v in feasible)
+
+    def test_lighter_loads_leave_more_for_bg(self):
+        mix = MixSpec.of(
+            lc=[("memcached", 0.1), ("xapian", 0.1)], bg=["streamcluster"]
+        )
+        grid = bg_performance_grid(
+            mix,
+            "memcached",
+            "xapian",
+            "streamcluster",
+            ORACLE,
+            "ORACLE",
+            row_loads=(0.1, 0.9),
+            col_loads=(0.1,),
+            budget=BUDGET,
+        )
+        light, heavy = grid.cell(0, 0), grid.cell(1, 0)
+        if light is not None and heavy is not None:
+            assert light >= heavy
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [None, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "X" in lines[3]
+        assert "2.500" in lines[2]
+
+    def test_format_table_row_length_check(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_heatmap(self):
+        grid = LoadGrid(
+            row_job="a",
+            col_job="b",
+            row_loads=(0.1, 0.2),
+            col_loads=(0.5,),
+            cells=((0.3,), (None,)),
+            policy="TEST",
+        )
+        text = format_heatmap(grid)
+        assert "TEST" in text
+        assert "30%" in text
+        assert "X" in text
+
+    def test_format_series(self):
+        text = format_series("s", [1.0, 2.0], [0.5, None])
+        assert "s" in text and "X" in text
+
+
+class TestTraces:
+    @pytest.fixture
+    def parties_result(self):
+        mix = MixSpec.of(
+            lc=[("img-dnn", 0.3), ("memcached", 0.2)], bg=["fluidanimate"]
+        )
+        node = mix.build_node(seed=0)
+        return node, PartiesPolicy().partition(node, BUDGET)
+
+    def test_allocation_snapshot(self, parties_result):
+        node, result = parties_result
+        snap = allocation_snapshot(result, default_server(), node.job_names())
+        assert snap.policy == "PARTIES"
+        total = sum(snap.share(j, "cores") for j in node.job_names())
+        assert total == pytest.approx(1.0)
+
+    def test_allocation_series_lengths(self, parties_result):
+        node, result = parties_result
+        series = allocation_series(result, default_server(), job=0, resource=0)
+        assert len(series) == result.samples_taken
+        assert all(0 < v <= 1 for v in series)
+
+    def test_qos_met_series(self, parties_result):
+        _, result = parties_result
+        series = qos_met_series(result)
+        assert len(series) == result.samples_taken
+
+    def test_best_bg_series_monotone(self, parties_result):
+        _, result = parties_result
+        series = best_bg_performance_series(result, "fluidanimate")
+        values = [v for v in series if v is not None]
+        assert values == sorted(values)
+
+    def test_first_qos_met_sample(self, parties_result):
+        _, result = parties_result
+        idx = first_qos_met_sample(result)
+        if idx is not None:
+            assert result.trace[idx].observation.all_qos_met
+
+    def test_per_job_performance_keys(self, parties_result):
+        node, result = parties_result
+        series = per_job_performance(result)
+        assert set(series) == set(node.job_names())
+        assert all(len(v) == result.samples_taken for v in series.values())
+
+
+class TestVariability:
+    def test_repeats_distinct_seeds(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.2)], bg=["swaptions"])
+        trials = run_repeats(mix, PARTIES, n_trials=3, budget=BUDGET)
+        assert len(trials) == 3
+        assert len({t.seed for t in trials}) == 3
+
+    def test_variability_of_identical_values_is_zero(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.2)], bg=["swaptions"])
+        trials = run_repeats(mix, ORACLE, n_trials=2, budget=BUDGET)
+        # ORACLE is deterministic and noise-free.
+        assert variability_percent(trials) == pytest.approx(0.0, abs=1e-9)
+
+    def test_needs_two_trials(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.2)], bg=["swaptions"])
+        with pytest.raises(ValueError):
+            run_repeats(mix, PARTIES, n_trials=1, budget=BUDGET)
+
+    def test_trial_performance_prefers_bg(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.2)], bg=["swaptions"])
+        trials = run_repeats(mix, PARTIES, n_trials=2, budget=BUDGET)
+        assert trial_performance(trials[0]) == trials[0].mean_bg_performance
+
+
+class TestOverheadTable:
+    def test_rows_per_mix_policy(self):
+        mixes = [MixSpec.of(lc=[("img-dnn", 0.2)], bg=["swaptions"])]
+        rows = overhead_table(
+            mixes,
+            {"PARTIES": PARTIES, "ORACLE": ORACLE},
+            seeds=(0, 1),
+            budget=BUDGET,
+        )
+        assert len(rows) == 2
+        parties_row = next(r for r in rows if r.policy == "PARTIES")
+        oracle_row = next(r for r in rows if r.policy == "ORACLE")
+        assert parties_row.mean_samples > 0
+        assert oracle_row.mean_evaluations > parties_row.mean_evaluations

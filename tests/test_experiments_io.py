@@ -1,0 +1,95 @@
+"""Unit tests for experiment-artifact serialization."""
+
+import pytest
+
+from repro.experiments import (
+    LoadGrid,
+    MixSpec,
+    grid_from_dict,
+    grid_to_dict,
+    load_grid,
+    save_grid,
+    save_json,
+    load_json,
+    trial_to_dict,
+    run_trial,
+)
+from repro.schedulers import PartiesPolicy
+from repro.server import NodeBudget
+from repro.workloads import LoadSchedule
+
+
+@pytest.fixture
+def grid():
+    return LoadGrid(
+        row_job="img-dnn",
+        col_job="masstree",
+        row_loads=(0.1, 0.5),
+        col_loads=(0.2,),
+        cells=((0.8,), (None,)),
+        policy="CLITE",
+    )
+
+
+class TestGridRoundtrip:
+    def test_dict_roundtrip(self, grid):
+        assert grid_from_dict(grid_to_dict(grid)) == grid
+
+    def test_none_cells_preserved(self, grid):
+        data = grid_to_dict(grid)
+        assert data["cells"][1][0] is None
+        assert grid_from_dict(data).cell(1, 0) is None
+
+    def test_file_roundtrip(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        assert load_grid(path) == grid
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a load_grid"):
+            grid_from_dict({"kind": "trial"})
+
+    def test_json_is_plain(self, grid, tmp_path):
+        import json
+
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        payload = json.loads(path.read_text())
+        assert payload["policy"] == "CLITE"
+        assert payload["row_loads"] == [0.1, 0.5]
+
+
+class TestTrialSerialization:
+    @pytest.fixture
+    def trial(self):
+        mix = MixSpec.of(lc=[("memcached", 0.2)], bg=["swaptions"])
+        return run_trial(mix, PartiesPolicy(), seed=0, budget=NodeBudget(25))
+
+    def test_trial_summary_fields(self, trial):
+        data = trial_to_dict(trial)
+        assert data["kind"] == "trial"
+        assert data["policy"] == "PARTIES"
+        assert data["mix"]["lc"] == [["memcached", 0.2]]
+        assert data["mix"]["bg"] == ["swaptions"]
+        assert isinstance(data["qos_met"], bool)
+        assert data["samples"] == trial.samples
+
+    def test_best_config_matrix(self, trial):
+        data = trial_to_dict(trial)
+        matrix = data["best_config"]
+        assert matrix is not None
+        assert len(matrix) == 2  # two jobs
+        assert all(isinstance(v, int) for row in matrix for v in row)
+
+    def test_dynamic_load_marked(self):
+        mix = MixSpec.of(
+            lc=[("memcached", LoadSchedule.constant(0.2))], bg=["swaptions"]
+        )
+        trial = run_trial(mix, PartiesPolicy(), seed=0, budget=NodeBudget(20))
+        data = trial_to_dict(trial)
+        assert data["mix"]["lc"] == [["memcached", "dynamic"]]
+
+    def test_save_load_json(self, trial, tmp_path):
+        path = tmp_path / "trial.json"
+        save_json(trial_to_dict(trial), path)
+        assert load_json(path)["policy"] == "PARTIES"

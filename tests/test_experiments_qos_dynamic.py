@@ -1,0 +1,153 @@
+"""Unit tests for QoS regions (Figs. 1-2) and dynamic adaptation (Fig. 16)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CLITEConfig
+from repro.experiments import (
+    MixSpec,
+    coordinate_descent_reaches,
+    overlap_region,
+    qos_region,
+    run_dynamic,
+)
+from repro.workloads import LoadSchedule
+
+
+class TestQoSRegion:
+    def test_region_shape(self):
+        region = qos_region("img-dnn", 0.5)
+        assert len(region.axis_a_units) == 10  # cores
+        assert len(region.axis_b_units) == 11  # llc ways
+
+    def test_monotone_in_both_axes(self):
+        """More of either resource never breaks a safe allocation."""
+        region = qos_region("img-dnn", 0.5)
+        safe = np.array(region.safe)
+        for i in range(safe.shape[0] - 1):
+            for j in range(safe.shape[1]):
+                if safe[i, j]:
+                    assert safe[i + 1, j]
+        for i in range(safe.shape[0]):
+            for j in range(safe.shape[1] - 1):
+                if safe[i, j]:
+                    assert safe[i, j + 1]
+
+    def test_resource_equivalence_frontier(self):
+        """Multiple (cores, ways) trade-offs meet the same QoS (Fig. 1)."""
+        region = qos_region("img-dnn", 0.5)
+        frontier = region.frontier()
+        assert len(frontier) >= 2
+        ways_needed = [b for _, b in frontier]
+        # Fewer cores require at least as many ways.
+        assert ways_needed == sorted(ways_needed, reverse=True) or len(
+            set(ways_needed)
+        ) > 1
+
+    def test_higher_load_shrinks_region(self):
+        light = np.array(qos_region("xapian", 0.2).safe).sum()
+        heavy = np.array(qos_region("xapian", 0.9).safe).sum()
+        assert heavy < light
+
+    def test_region_over_other_resource_pair(self):
+        region = qos_region("masstree", 0.5, resource_a="cores", resource_b="membw")
+        assert len(region.axis_b_units) == 10
+
+
+class TestOverlap:
+    def test_complementary_jobs_overlap(self):
+        a = qos_region("memcached", 0.3)
+        b = qos_region("img-dnn", 0.3)
+        overlap = overlap_region(a, b)
+        assert overlap.any()
+
+    def test_mismatched_regions_rejected(self):
+        a = qos_region("memcached", 0.3)
+        b = qos_region("img-dnn", 0.3, resource_b="membw")
+        with pytest.raises(ValueError, match="same resource pair"):
+            overlap_region(a, b)
+
+    def test_heavy_loads_shrink_overlap(self):
+        light = overlap_region(
+            qos_region("memcached", 0.2), qos_region("img-dnn", 0.2)
+        )
+        heavy = overlap_region(
+            qos_region("memcached", 0.9), qos_region("img-dnn", 0.9)
+        )
+        assert heavy.sum() <= light.sum()
+
+
+class TestCoordinateDescent:
+    def test_reaches_adjacent_region(self):
+        overlap = np.zeros((5, 5), dtype=bool)
+        overlap[2, 3] = True
+        assert coordinate_descent_reaches(overlap, start=(2, 2))
+
+    def test_cannot_reach_far_disconnected_region(self):
+        overlap = np.zeros((6, 6), dtype=bool)
+        overlap[5, 5] = True
+        assert not coordinate_descent_reaches(overlap, start=(0, 0))
+
+    def test_empty_overlap_unreachable(self):
+        assert not coordinate_descent_reaches(
+            np.zeros((3, 3), dtype=bool), start=(1, 1)
+        )
+
+    def test_start_inside_overlap(self):
+        overlap = np.zeros((3, 3), dtype=bool)
+        overlap[1, 1] = True
+        assert coordinate_descent_reaches(overlap, start=(1, 1))
+
+    def test_bad_start_rejected(self):
+        overlap = np.zeros((3, 3), dtype=bool)
+        with pytest.raises(IndexError):
+            coordinate_descent_reaches(overlap, start=(5, 5))
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(ValueError):
+            coordinate_descent_reaches(np.zeros((3, 3)), start=(0, 0))
+
+
+class TestRunDynamic:
+    @pytest.fixture
+    def dynamic_mix(self):
+        ramp = LoadSchedule.steps([(0, 0.1), (150, 0.3)])
+        return MixSpec.of(
+            lc=[("img-dnn", 0.1), ("memcached", ramp)],
+            bg=["fluidanimate"],
+        )
+
+    @pytest.fixture
+    def fast_config(self):
+        return CLITEConfig(
+            seed=0,
+            max_iterations=10,
+            ei_min_iterations=2,
+            post_qos_iterations=2,
+            confirm_top=1,
+            n_restarts=3,
+        )
+
+    def test_trace_covers_total_time(self, dynamic_mix, fast_config):
+        trace = run_dynamic(dynamic_mix, total_time_s=250, engine_config=fast_config)
+        assert trace.events
+        assert trace.events[-1].time_s >= 200
+
+    def test_load_change_triggers_reinvocation(self, dynamic_mix, fast_config):
+        trace = run_dynamic(dynamic_mix, total_time_s=300, engine_config=fast_config)
+        assert trace.reinvocations  # the 10% -> 30% step was noticed
+        assert all(t >= 150 for t in trace.reinvocations)
+
+    def test_series_accessors(self, dynamic_mix, fast_config):
+        trace = run_dynamic(dynamic_mix, total_time_s=250, engine_config=fast_config)
+        bg = trace.bg_series("fluidanimate")
+        assert all(v > 0 for _, v in bg)
+        loads = trace.load_series("memcached")
+        assert loads[0][1] == pytest.approx(0.1)
+        assert loads[-1][1] == pytest.approx(0.3)
+        alloc = trace.allocation_series(0, 0)
+        assert all(isinstance(units, int) and units >= 1 for _, units in alloc)
+
+    def test_invalid_total_time(self, dynamic_mix):
+        with pytest.raises(ValueError):
+            run_dynamic(dynamic_mix, total_time_s=0)

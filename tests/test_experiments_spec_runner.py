@@ -1,0 +1,111 @@
+"""Unit tests for mix specs and the trial runner."""
+
+import pytest
+
+from repro.experiments import MixSpec, isolated_lc_latencies, run_policies, run_trial
+from repro.schedulers import OraclePolicy, PartiesPolicy
+from repro.server import NodeBudget
+from repro.workloads import LoadSchedule
+
+
+class TestMixSpec:
+    def test_of_builder(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.5)], bg=["streamcluster"])
+        assert mix.n_jobs == 2
+        assert mix.lc == (("img-dnn", 0.5),)
+        assert mix.bg == ("streamcluster",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            MixSpec(lc=(), bg=())
+
+    def test_label(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.5)], bg=["canneal"])
+        assert mix.label() == "img-dnn@50% + canneal"
+
+    def test_label_dynamic(self):
+        schedule = LoadSchedule.constant(0.5)
+        mix = MixSpec.of(lc=[("img-dnn", schedule)])
+        assert "dyn" in mix.label()
+
+    def test_with_lc_load(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.5), ("xapian", 0.3)])
+        updated = mix.with_lc_load("xapian", 0.9)
+        assert updated.lc == (("img-dnn", 0.5), ("xapian", 0.9))
+        assert mix.lc[1][1] == 0.3  # original untouched
+
+    def test_with_lc_load_unknown_job(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.5)])
+        with pytest.raises(KeyError):
+            mix.with_lc_load("memcached", 0.5)
+
+    def test_build_node(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.5)], bg=["streamcluster"])
+        node = mix.build_node(seed=0)
+        assert node.job_names() == ("img-dnn", "streamcluster")
+        assert node.jobs[0].is_lc
+        assert not node.jobs[1].is_lc
+
+    def test_build_node_with_schedule(self):
+        schedule = LoadSchedule.steps([(0, 0.1), (10, 0.5)])
+        mix = MixSpec.of(lc=[("memcached", schedule)])
+        node = mix.build_node(seed=0)
+        assert node.jobs[0].load.load_at(20) == 0.5
+
+    def test_build_node_noise_override(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.2)])
+        node = mix.build_node(seed=0, noise=0.0)
+        assert node.counters.relative_std == 0.0
+
+
+class TestRunTrial:
+    @pytest.fixture
+    def mix(self):
+        return MixSpec.of(
+            lc=[("img-dnn", 0.3), ("memcached", 0.3)], bg=["blackscholes"]
+        )
+
+    def test_trial_metrics(self, mix):
+        trial = run_trial(mix, PartiesPolicy(), seed=0, budget=NodeBudget(40))
+        assert trial.policy == "PARTIES"
+        assert set(trial.lc_performance) == {"img-dnn", "memcached"}
+        assert set(trial.bg_performance) == {"blackscholes"}
+        assert trial.samples <= 40
+        assert 0 < trial.mean_bg_performance <= 1.0
+
+    def test_qos_from_true_performance(self, mix):
+        trial = run_trial(mix, PartiesPolicy(), seed=0, budget=NodeBudget(40))
+        node = mix.build_node(seed=0)
+        truth = node.true_performance(trial.result.best_config)
+        assert trial.qos_met == truth.all_qos_met
+
+    def test_isolated_latencies(self, mix):
+        node = mix.build_node(seed=0)
+        baselines = isolated_lc_latencies(node)
+        assert set(baselines) == {"img-dnn", "memcached"}
+        assert all(v > 0 for v in baselines.values())
+
+    def test_run_policies_shapes(self, mix):
+        results = run_policies(
+            mix,
+            {"PARTIES": lambda seed: PartiesPolicy()},
+            seeds=(0, 1),
+            budget=NodeBudget(30),
+        )
+        assert set(results) == {"PARTIES"}
+        assert len(results["PARTIES"]) == 2
+
+    def test_oracle_trial(self, mix):
+        trial = run_trial(
+            mix, OraclePolicy(max_enumeration=3000), budget=NodeBudget(10)
+        )
+        assert trial.qos_met
+        assert trial.samples == 0
+        assert trial.evaluations > 1000
+
+    def test_lc_only_mix_mean_bg_raises(self):
+        mix = MixSpec.of(lc=[("img-dnn", 0.2)])
+        trial = run_trial(mix, PartiesPolicy(), seed=0, budget=NodeBudget(20))
+        with pytest.raises(ValueError):
+            trial.mean_bg_performance
+        assert trial.mean_lc_performance > 0

@@ -1,0 +1,118 @@
+"""Coverage for the six-resource (full Table 1) server."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CLITEConfig, CLITEEngine
+from repro.experiments import MixSpec, run_trial
+from repro.resources import (
+    ConfigurationSpace,
+    DISK_BANDWIDTH,
+    IsolationManager,
+    MEMORY_CAPACITY,
+    NETWORK_BANDWIDTH,
+    full_server,
+)
+from repro.schedulers import PartiesPolicy
+from repro.server import NodeBudget
+from repro.workloads import lc_workload, p95_latency_ms
+
+
+@pytest.fixture(scope="module")
+def server():
+    return full_server()
+
+
+class TestFullServerSpace:
+    def test_dimensionality(self, server):
+        space = ConfigurationSpace(server, 3)
+        assert space.n_dims == 18
+        assert space.size() > 10**9  # the explosion Sec. 2 describes
+
+    def test_equal_partition_valid(self, server):
+        space = ConfigurationSpace(server, 4)
+        space.validate(space.equal_partition())
+
+    def test_unit_cube_roundtrip(self, server):
+        space = ConfigurationSpace(server, 3)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            config = space.random(rng)
+            assert space.from_unit_cube(space.to_unit_cube(config)) == config
+
+    def test_isolation_covers_all_tools(self, server):
+        space = ConfigurationSpace(server, 2)
+        manager = IsolationManager(server)
+        issued = manager.apply(space.equal_partition())
+        assert len(issued) == 6
+        assert {i.tool for i in issued} >= {"memory cgroups", "blkio cgroups", "qdisc"}
+
+
+class TestSixResourceSensitivities:
+    def test_memcached_network_sensitivity_active(self, server):
+        """On the full server the netbw curve actually binds."""
+        memcached = lc_workload("memcached", server)
+        shares_full = {r.name: 1.0 for r in server.resources}
+        shares_starved = dict(shares_full, **{NETWORK_BANDWIDTH: 0.1})
+        qps = 0.5 * memcached.max_qps
+        assert p95_latency_ms(memcached, qps, 5, shares_starved) > (
+            p95_latency_ms(memcached, qps, 5, shares_full)
+        )
+
+    def test_xapian_disk_sensitivity_active(self, server):
+        xapian = lc_workload("xapian", server)
+        shares_full = {r.name: 1.0 for r in server.resources}
+        shares_starved = dict(shares_full, **{DISK_BANDWIDTH: 0.1})
+        qps = 0.5 * xapian.max_qps
+        assert p95_latency_ms(xapian, qps, 5, shares_starved) > (
+            p95_latency_ms(xapian, qps, 5, shares_full)
+        )
+
+    def test_specjbb_memcap_sensitivity_active(self, server):
+        specjbb = lc_workload("specjbb", server)
+        shares_full = {r.name: 1.0 for r in server.resources}
+        shares_starved = dict(shares_full, **{MEMORY_CAPACITY: 0.1})
+        qps = 0.5 * specjbb.max_qps
+        assert p95_latency_ms(specjbb, qps, 5, shares_starved) > (
+            p95_latency_ms(specjbb, qps, 5, shares_full)
+        )
+
+    def test_calibration_differs_from_default_server(self, server):
+        """QoS targets are per-server: the six-resource box calibrates
+        its own knees rather than reusing the three-resource ones."""
+        full = lc_workload("xapian", server)
+        small = lc_workload("xapian")
+        assert full.max_qps == pytest.approx(small.max_qps, rel=0.2)
+
+
+class TestPoliciesOnFullServer:
+    def test_parties_on_six_resources(self, server):
+        mix = MixSpec.of(lc=[("memcached", 0.3), ("xapian", 0.3)], bg=["canneal"])
+        trial = run_trial(
+            mix, PartiesPolicy(), seed=0, budget=NodeBudget(60), server=server
+        )
+        assert trial.result.best_config is not None
+        assert trial.result.best_config.n_resources == 6
+
+    def test_clite_engine_on_six_resources(self, server):
+        mix = MixSpec.of(lc=[("masstree", 0.4)], bg=["streamcluster"])
+        node = mix.build_node(server=server, seed=0)
+        config = CLITEConfig(
+            seed=0, max_iterations=12, post_qos_iterations=4, confirm_top=1
+        )
+        result = CLITEEngine(node, config).optimize()
+        assert result.qos_met
+        truth = node.true_performance(result.best_config)
+        assert truth.all_qos_met
+
+
+@given(n_jobs=st.integers(2, 5), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_full_server_random_configs_valid(n_jobs, seed):
+    space = ConfigurationSpace(full_server(), n_jobs)
+    rng = np.random.default_rng(seed)
+    config = space.random(rng)
+    space.validate(config)
+    assert space.from_unit_cube(space.to_unit_cube(config)) == config

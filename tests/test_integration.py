@@ -1,0 +1,116 @@
+"""End-to-end checks of the paper's headline claims (scaled for test time).
+
+These run the real catalogs on the Table 2 server and assert the
+qualitative results of Sec. 5: who wins, in which regimes — the "shape"
+of the evaluation rather than its absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import MixSpec, run_trial
+from repro.schedulers import (
+    CLITEPolicy,
+    HeraclesPolicy,
+    OraclePolicy,
+    PartiesPolicy,
+    RandomPlusPolicy,
+)
+from repro.server import NodeBudget
+
+BUDGET = NodeBudget(70)
+
+
+@pytest.fixture(scope="module")
+def medium_mix():
+    return MixSpec.of(
+        lc=[("img-dnn", 0.5), ("memcached", 0.5), ("masstree", 0.3)],
+        bg=["streamcluster"],
+    )
+
+
+@pytest.fixture(scope="module")
+def hard_mix():
+    """A mix needing joint multi-resource exploration (Sec. 2's point)."""
+    return MixSpec.of(
+        lc=[("img-dnn", 0.7), ("masstree", 0.6), ("memcached", 0.3)],
+        bg=["blackscholes"],
+    )
+
+
+@pytest.fixture(scope="module")
+def clite_medium(medium_mix):
+    return run_trial(medium_mix, CLITEPolicy(seed=1), seed=1, budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def parties_medium(medium_mix):
+    return run_trial(medium_mix, PartiesPolicy(), seed=1, budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def oracle_medium(medium_mix):
+    return run_trial(
+        medium_mix, OraclePolicy(max_enumeration=20_000), seed=1, budget=BUDGET
+    )
+
+
+class TestHeadlineClaims:
+    def test_clite_meets_qos_on_medium_mix(self, clite_medium):
+        assert clite_medium.qos_met
+
+    def test_clite_beats_parties_on_bg_performance(
+        self, clite_medium, parties_medium
+    ):
+        """Fig. 13: CLITE leaves the BG job far better off than PARTIES."""
+        assert clite_medium.mean_bg_performance > parties_medium.mean_bg_performance
+
+    def test_oracle_bounds_clite(self, clite_medium, oracle_medium):
+        assert oracle_medium.qos_met
+        assert (
+            oracle_medium.mean_bg_performance
+            >= clite_medium.mean_bg_performance - 0.02
+        )
+
+    def test_clite_near_oracle(self, clite_medium, oracle_medium):
+        """Figs. 12-14: CLITE lands within a modest factor of ORACLE."""
+        ratio = clite_medium.mean_bg_performance / oracle_medium.mean_bg_performance
+        assert ratio > 0.6
+
+    def test_clite_colocates_where_parties_fails(self, hard_mix):
+        """Figs. 7-9: joint exploration finds partitions trial-and-error
+        cannot."""
+        clite = run_trial(hard_mix, CLITEPolicy(seed=2), seed=2, budget=BUDGET)
+        parties = run_trial(hard_mix, PartiesPolicy(), seed=2, budget=BUDGET)
+        assert clite.qos_met
+        assert not parties.qos_met
+
+    def test_heracles_cannot_handle_multiple_lc(self, hard_mix):
+        """Fig. 7: Heracles guards only its first LC job, so a mix whose
+        other LC jobs carry real load slips through its fingers."""
+        heracles = run_trial(hard_mix, HeraclesPolicy(), seed=1, budget=BUDGET)
+        assert not heracles.qos_met
+
+    def test_random_plus_wastes_its_budget(self, medium_mix, clite_medium):
+        rand = run_trial(
+            medium_mix, RandomPlusPolicy(seed=1), seed=1, budget=BUDGET
+        )
+        assert rand.samples >= clite_medium.samples
+        if rand.qos_met:
+            assert rand.mean_bg_performance <= clite_medium.mean_bg_performance
+
+
+class TestFullServer:
+    def test_six_resource_partitioning_end_to_end(self):
+        from repro.resources import full_server
+
+        mix = MixSpec.of(lc=[("img-dnn", 0.3), ("xapian", 0.3)], bg=["canneal"])
+        trial = run_trial(
+            mix,
+            CLITEPolicy(seed=0),
+            seed=0,
+            budget=NodeBudget(40),
+            server=full_server(),
+        )
+        assert trial.result.best_config is not None
+        assert trial.result.best_config.n_resources == 6
+        assert trial.qos_met

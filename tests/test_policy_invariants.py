@@ -1,0 +1,109 @@
+"""Invariants every policy must uphold, checked uniformly.
+
+Parametrized across the whole Sec. 5 lineup plus the DSE baselines:
+whatever a policy does internally, its outputs must be valid partitions,
+within budget, honestly labelled, and reproducible under a fixed seed.
+"""
+
+import pytest
+
+from repro.schedulers import (
+    CLITEPolicy,
+    FFDPolicy,
+    GeneticPolicy,
+    HeraclesPolicy,
+    OraclePolicy,
+    PartiesPolicy,
+    RSMPolicy,
+    RandomPlusPolicy,
+)
+from repro.server import NodeBudget
+
+from conftest import make_node
+
+BUDGET = NodeBudget(50)
+
+POLICY_FACTORIES = {
+    "CLITE": lambda seed: CLITEPolicy(seed=seed),
+    "PARTIES": lambda seed: PartiesPolicy(),
+    "Heracles": lambda seed: HeraclesPolicy(),
+    "RAND+": lambda seed: RandomPlusPolicy(preset_samples=30, seed=seed),
+    "GENETIC": lambda seed: GeneticPolicy(preset_samples=30, seed=seed),
+    "ORACLE": lambda seed: OraclePolicy(max_enumeration=3000),
+    "FFD": lambda seed: FFDPolicy(seed=seed),
+    "RSM": lambda seed: RSMPolicy(seed=seed),
+}
+
+
+@pytest.fixture(scope="module")
+def results(mini_server_module):
+    server = mini_server_module
+    out = {}
+    for name, factory in POLICY_FACTORIES.items():
+        node = make_node(server, lc_loads=(0.4, 0.3), n_bg=1, noise=0.01, seed=3)
+        out[name] = (node, factory(3).partition(node, BUDGET))
+    return out
+
+
+@pytest.fixture(scope="module")
+def mini_server_module():
+    from repro.resources import CORES, LLC_WAYS, MEMORY_BANDWIDTH, Resource, ServerSpec
+
+    return ServerSpec(
+        resources=(
+            Resource(CORES, 6),
+            Resource(LLC_WAYS, 6),
+            Resource(MEMORY_BANDWIDTH, 6),
+        )
+    )
+
+
+@pytest.mark.parametrize("name", list(POLICY_FACTORIES))
+class TestPolicyInvariants:
+    def test_best_config_is_valid(self, results, name):
+        node, result = results[name]
+        assert result.best_config is not None
+        node.space.validate(result.best_config)
+
+    def test_every_trace_config_is_valid(self, results, name):
+        node, result = results[name]
+        for entry in result.trace:
+            node.space.validate(entry.config)
+
+    def test_budget_respected(self, results, name):
+        _, result = results[name]
+        assert result.samples_taken <= BUDGET.max_samples
+
+    def test_scores_in_unit_interval(self, results, name):
+        _, result = results[name]
+        assert 0.0 <= result.best_score <= 1.0
+        for entry in result.trace:
+            assert 0.0 <= entry.score <= 1.0
+
+    def test_qos_flag_matches_best_observation(self, results, name):
+        _, result = results[name]
+        if result.best_observation is not None:
+            assert result.qos_met == result.best_observation.all_qos_met
+
+    def test_trace_indices_sequential(self, results, name):
+        _, result = results[name]
+        assert [e.index for e in result.trace] == list(range(len(result.trace)))
+
+    def test_policy_name_stamped(self, results, name):
+        _, result = results[name]
+        assert result.policy == POLICY_FACTORIES[name](0).name
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in POLICY_FACTORIES if n not in ("PARTIES", "Heracles")]
+)
+def test_seeded_policies_are_reproducible(mini_server_module, name):
+    """Same seed, same node noise -> identical chosen partition."""
+    outcomes = []
+    for _ in range(2):
+        node = make_node(
+            mini_server_module, lc_loads=(0.4, 0.3), n_bg=1, noise=0.01, seed=7
+        )
+        result = POLICY_FACTORIES[name](7).partition(node, BUDGET)
+        outcomes.append(result.best_config)
+    assert outcomes[0] == outcomes[1]

@@ -1,0 +1,94 @@
+"""Unit tests for the simulated isolation-tool layer."""
+
+import pytest
+
+from repro.resources import (
+    Configuration,
+    ConfigurationSpace,
+    IsolationManager,
+    default_server,
+)
+
+
+@pytest.fixture
+def manager():
+    return IsolationManager(default_server())
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace(default_server(), 2)
+
+
+class TestIsolationManager:
+    def test_initially_no_partition(self, manager):
+        assert manager.current is None
+        assert manager.invocations == []
+        assert manager.total_enforcement_seconds == 0.0
+
+    def test_apply_invokes_every_tool_once(self, manager, space):
+        issued = manager.apply(space.equal_partition())
+        assert len(issued) == 3
+        assert {i.tool for i in issued} == {"taskset", "Intel CAT", "Intel MBA"}
+
+    def test_apply_records_current(self, manager, space):
+        config = space.equal_partition()
+        manager.apply(config)
+        assert manager.current == config
+
+    def test_reapply_same_config_is_noop(self, manager, space):
+        config = space.equal_partition()
+        manager.apply(config)
+        issued = manager.apply(config)
+        assert issued == []
+        assert len(manager.invocations) == 3
+
+    def test_partial_change_only_touches_changed_resource(self, manager, space):
+        config = space.equal_partition()
+        manager.apply(config)
+        moved = config.with_transfer(0, donor=0, receiver=1)  # cores only
+        issued = manager.apply(moved)
+        assert len(issued) == 1
+        assert issued[0].resource == "cores"
+
+    def test_enforcement_time_accumulates(self, manager, space):
+        config = space.equal_partition()
+        manager.apply(config)
+        manager.apply(config.with_transfer(0, donor=0, receiver=1))
+        assert manager.total_enforcement_seconds == pytest.approx(0.2)
+
+    def test_noop_apply_costs_nothing(self, manager, space):
+        config = space.equal_partition()
+        manager.apply(config)
+        manager.apply(config)
+        assert manager.total_enforcement_seconds == pytest.approx(0.1)
+
+    def test_invalid_config_rejected(self, manager):
+        bad = Configuration.from_matrix([[10, 11, 10], [10, 11, 10]])
+        with pytest.raises(ValueError):
+            manager.apply(bad)
+        assert manager.current is None
+
+    def test_allocation_mapping(self, manager, space):
+        issued = manager.apply(space.max_allocation(0))
+        cores = next(i for i in issued if i.resource == "cores")
+        assert cores.allocation == {0: 9, 1: 1}
+
+    def test_command_line_rendering(self, manager, space):
+        issued = manager.apply(space.equal_partition())
+        line = issued[0].command_line()
+        assert "taskset" in line
+        assert "job0=5" in line
+
+    def test_reset(self, manager, space):
+        manager.apply(space.equal_partition())
+        manager.reset()
+        assert manager.current is None
+        assert manager.invocations == []
+        assert manager.total_enforcement_seconds == 0.0
+
+    def test_job_count_change_reissues_all(self, manager, space):
+        manager.apply(space.equal_partition())
+        three = ConfigurationSpace(default_server(), 3)
+        issued = manager.apply(three.equal_partition())
+        assert len(issued) == 3

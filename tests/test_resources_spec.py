@@ -1,0 +1,95 @@
+"""Unit tests for resource and server specifications."""
+
+import pytest
+
+from repro.resources import (
+    CORES,
+    LLC_WAYS,
+    MEMORY_BANDWIDTH,
+    Resource,
+    ServerSpec,
+    default_server,
+    full_server,
+    small_server,
+)
+
+
+class TestResource:
+    def test_valid_resource(self):
+        r = Resource(CORES, 10)
+        assert r.name == CORES
+        assert r.units == 10
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ValueError, match=">= 1 unit"):
+            Resource(CORES, 0)
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(CORES, -3)
+
+    def test_max_units_per_job(self):
+        r = Resource(LLC_WAYS, 11)
+        assert r.max_units_per_job(1) == 11
+        assert r.max_units_per_job(4) == 8
+
+    def test_max_units_per_job_all_floor(self):
+        r = Resource(CORES, 4)
+        assert r.max_units_per_job(4) == 1
+
+    def test_frozen(self):
+        r = Resource(CORES, 10)
+        with pytest.raises(AttributeError):
+            r.units = 5
+
+
+class TestServerSpec:
+    def test_default_server_matches_table2(self):
+        server = default_server()
+        assert server.resource(CORES).units == 10
+        assert server.resource(LLC_WAYS).units == 11
+        assert server.resource(MEMORY_BANDWIDTH).units == 10
+        assert server.frequency_ghz == 2.2
+        assert server.memory_gb == 46
+
+    def test_default_server_isolation_tools(self):
+        server = default_server()
+        assert server.resource(CORES).isolation_tool == "taskset"
+        assert server.resource(LLC_WAYS).isolation_tool == "Intel CAT"
+        assert server.resource(MEMORY_BANDWIDTH).isolation_tool == "Intel MBA"
+
+    def test_full_server_has_all_six_resources(self):
+        assert full_server().n_resources == 6
+
+    def test_resource_names_order(self):
+        server = default_server()
+        assert server.resource_names == (CORES, LLC_WAYS, MEMORY_BANDWIDTH)
+
+    def test_unknown_resource_raises(self):
+        with pytest.raises(KeyError, match="no resource named"):
+            default_server().resource("gpu")
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(ValueError, match="at least one resource"):
+            ServerSpec(resources=())
+
+    def test_duplicate_resource_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServerSpec(resources=(Resource(CORES, 4), Resource(CORES, 8)))
+
+    def test_max_jobs_is_min_units(self):
+        server = ServerSpec(
+            resources=(Resource(CORES, 4), Resource(LLC_WAYS, 11))
+        )
+        assert server.max_jobs() == 4
+
+    def test_small_server_sizes(self):
+        server = small_server(units=5, n_resources=3)
+        assert server.n_resources == 3
+        assert all(r.units == 5 for r in server.resources)
+
+    def test_small_server_bad_n_resources(self):
+        with pytest.raises(ValueError):
+            small_server(n_resources=0)
+        with pytest.raises(ValueError):
+            small_server(n_resources=4)

@@ -1,0 +1,88 @@
+"""Scale stress: larger job mixes and bigger spaces end to end.
+
+The paper's Fig. 15(a) sweeps up to 5 co-located jobs; these tests push
+the engine and substrate to comparable scale and check nothing
+structural gives out (validity, budgets, QoS semantics).
+"""
+
+import pytest
+
+from repro.core import CLITEConfig, CLITEEngine
+from repro.experiments import MixSpec
+from repro.resources import ConfigurationSpace, default_server
+from repro.schedulers import PartiesPolicy
+from repro.server import NodeBudget
+
+
+FIVE_JOB_MIX = MixSpec.of(
+    lc=[("img-dnn", 0.2), ("memcached", 0.2), ("masstree", 0.2)],
+    bg=["streamcluster", "blackscholes"],
+)
+
+SIX_JOB_MIX = MixSpec.of(
+    lc=[("img-dnn", 0.2), ("memcached", 0.2), ("xapian", 0.2)],
+    bg=["streamcluster", "blackscholes", "swaptions"],
+)
+
+FAST = CLITEConfig(
+    seed=0,
+    max_iterations=20,
+    post_qos_iterations=6,
+    refine_budget=8,
+    confirm_top=2,
+    n_restarts=4,
+)
+
+
+class TestFiveJobs:
+    def test_space_size_is_large(self):
+        space = ConfigurationSpace(default_server(), 5)
+        assert space.size() > 10**6
+
+    def test_clite_handles_five_jobs(self):
+        node = FIVE_JOB_MIX.build_node(seed=0)
+        result = CLITEEngine(node, FAST).optimize()
+        assert result.best_config is not None
+        node.space.validate(result.best_config)
+        truth = node.true_performance(result.best_config)
+        assert truth.all_qos_met
+
+    def test_parties_handles_five_jobs(self):
+        node = FIVE_JOB_MIX.build_node(seed=0)
+        result = PartiesPolicy().partition(node, NodeBudget(60))
+        assert result.best_config is not None
+        node.space.validate(result.best_config)
+
+
+class TestSixJobs:
+    def test_clite_handles_six_jobs(self):
+        node = SIX_JOB_MIX.build_node(seed=1)
+        result = CLITEEngine(node, FAST).optimize()
+        assert result.best_config is not None
+        node.space.validate(result.best_config)
+        truth = node.true_performance(result.best_config)
+        assert truth.all_qos_met
+        # Both BG jobs actually get something beyond the floor.
+        bg_perfs = [j.throughput_norm for j in truth.bg_jobs]
+        assert all(p > 0.02 for p in bg_perfs)
+
+    def test_bootstrap_size_scales_with_jobs(self):
+        node = SIX_JOB_MIX.build_node(seed=1)
+        result = CLITEEngine(node, FAST).optimize()
+        bootstrap = [r for r in result.samples if r.phase == "bootstrap"]
+        assert len(bootstrap) == 7  # n_jobs + 1
+
+
+class TestTenJobFloor:
+    def test_max_jobs_cap_enforced(self):
+        """The Table 2 box fits at most 10 one-unit jobs; 11 must fail."""
+        server = default_server()
+        with pytest.raises(ValueError, match="cannot each get"):
+            ConfigurationSpace(server, 11)
+
+    def test_ten_jobs_single_configuration(self):
+        server = default_server()
+        space = ConfigurationSpace(server, 10)
+        # Cores have exactly 10 units: every job holds 1, no freedom.
+        equal = space.equal_partition()
+        assert equal.resource_column(0) == (1,) * 10

@@ -1,0 +1,67 @@
+"""Unit tests for the policy interface and search recorder."""
+
+import pytest
+
+from repro.schedulers import PolicyResult, SearchRecorder
+from repro.server import NodeBudget
+
+from conftest import make_node
+
+
+class TestSearchRecorder:
+    def test_observe_records_and_scores(self, quiet_node):
+        recorder = SearchRecorder(quiet_node, NodeBudget(5))
+        entry = recorder.observe(quiet_node.space.equal_partition())
+        assert entry.index == 0
+        assert 0 <= entry.score <= 1
+        assert recorder.best is entry
+
+    def test_best_tracks_maximum(self, quiet_node):
+        recorder = SearchRecorder(quiet_node, NodeBudget(5))
+        a = recorder.observe(quiet_node.space.max_allocation(2))
+        b = recorder.observe(quiet_node.space.equal_partition())
+        assert recorder.best.score == max(a.score, b.score)
+
+    def test_budget_enforced(self, quiet_node):
+        recorder = SearchRecorder(quiet_node, NodeBudget(2))
+        recorder.observe(quiet_node.space.equal_partition())
+        recorder.observe(quiet_node.space.max_allocation(0))
+        assert recorder.exhausted
+        with pytest.raises(RuntimeError, match="budget exhausted"):
+            recorder.observe(quiet_node.space.max_allocation(1))
+
+    def test_result_packaging(self, quiet_node):
+        recorder = SearchRecorder(quiet_node, NodeBudget(3))
+        recorder.observe(quiet_node.space.equal_partition())
+        result = recorder.result("TEST", converged=True)
+        assert result.policy == "TEST"
+        assert result.best_config == quiet_node.space.equal_partition()
+        assert result.converged
+        assert result.samples_taken == 1
+
+    def test_empty_result(self, quiet_node):
+        recorder = SearchRecorder(quiet_node, NodeBudget(3))
+        result = recorder.result("TEST", converged=False)
+        assert result.best_config is None
+        assert result.best_score == 0.0
+        assert not result.qos_met
+
+
+class TestPolicyResult:
+    def test_total_evaluations(self, quiet_node):
+        recorder = SearchRecorder(quiet_node, NodeBudget(3))
+        recorder.observe(quiet_node.space.equal_partition())
+        online = recorder.result("A", converged=True)
+        assert online.total_evaluations == 1
+        offline = PolicyResult(
+            policy="B",
+            best_config=None,
+            best_observation=None,
+            best_score=0.0,
+            qos_met=False,
+            converged=True,
+            trace=(),
+            evaluations=5000,
+        )
+        assert offline.total_evaluations == 5000
+        assert offline.samples_taken == 0

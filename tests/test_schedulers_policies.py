@@ -1,0 +1,272 @@
+"""Unit tests for the baseline scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import (
+    CLITEPolicy,
+    FFDPolicy,
+    GeneticPolicy,
+    HeraclesPolicy,
+    OraclePolicy,
+    PartiesPolicy,
+    RSMPolicy,
+    RandomPlusPolicy,
+)
+from repro.schedulers.ffd import hadamard, two_level_design
+from repro.schedulers.rsm import box_behnken_design, central_composite_design
+from repro.server import Job, NodeBudget
+
+from conftest import make_bg, make_lc, make_node
+
+
+@pytest.fixture
+def easy_node(mini_server):
+    """2 LC at light load + 1 BG: everyone should find QoS here."""
+    return make_node(mini_server, lc_loads=(0.3, 0.2), n_bg=1, noise=0.01)
+
+
+BUDGET = NodeBudget(60)
+
+
+class TestCLITEPolicy:
+    def test_finds_qos(self, easy_node):
+        result = CLITEPolicy(seed=0).partition(easy_node, BUDGET)
+        assert result.qos_met
+        assert result.policy == "CLITE"
+
+    def test_budget_folds_into_engine(self, easy_node):
+        result = CLITEPolicy(seed=0).partition(easy_node, NodeBudget(12))
+        assert result.samples_taken <= 12
+
+
+class TestPartiesPolicy:
+    def test_finds_qos_on_easy_mix(self, easy_node):
+        result = PartiesPolicy().partition(easy_node, BUDGET)
+        assert result.qos_met
+        assert result.policy == "PARTIES"
+
+    def test_converges_and_stops_early(self, easy_node):
+        result = PartiesPolicy().partition(easy_node, BUDGET)
+        assert result.converged
+        assert result.samples_taken < BUDGET.max_samples
+
+    def test_starts_from_equal_partition(self, easy_node):
+        result = PartiesPolicy().partition(easy_node, BUDGET)
+        assert result.trace[0].config == easy_node.space.equal_partition()
+
+    def test_moves_one_unit_at_a_time(self, easy_node):
+        result = PartiesPolicy().partition(easy_node, BUDGET)
+        for prev, cur in zip(result.trace, result.trace[1:]):
+            diff = np.abs(cur.config.as_array() - prev.config.as_array())
+            assert diff.sum() in (0, 2)  # monitoring repeat or 1 transfer
+
+    def test_gives_up_on_impossible_mix(self, mini_server):
+        from repro.server import Node, PerformanceCounters
+
+        doomed = make_lc("doomed", qos_latency_ms=0.0001, max_qps=2000.0)
+        node = Node(
+            mini_server,
+            [Job.lc(doomed, 0.9), Job.bg(make_bg())],
+            counters=PerformanceCounters(relative_std=0.0, seed=0),
+        )
+        result = PartiesPolicy().partition(node, NodeBudget(30))
+        assert not result.qos_met
+        # Either the budget runs out or PARTIES concludes the job
+        # cannot be co-located; both are give-up outcomes.
+        assert result.samples_taken <= 30
+
+    def test_invalid_stall_limit(self):
+        with pytest.raises(ValueError):
+            PartiesPolicy(stall_limit=0)
+
+
+class TestHeraclesPolicy:
+    def test_primary_lc_meets_qos(self, easy_node):
+        result = HeraclesPolicy().partition(easy_node, BUDGET)
+        truth = easy_node.true_performance(result.best_config)
+        assert truth.job("lc0").qos_met  # the one job Heracles manages
+
+    def test_needs_an_lc_job(self, mini_server):
+        node = make_node(mini_server, lc_loads=(), n_bg=2)
+        with pytest.raises(ValueError, match="at least one LC job"):
+            HeraclesPolicy().partition(node, BUDGET)
+
+    def test_cannot_manage_second_lc_at_high_load(self, mini_server):
+        """The Fig. 7 claim: Heracles only guards the first LC job."""
+        node = make_node(mini_server, lc_loads=(0.8, 0.8), n_bg=1, noise=0.0)
+        heracles = HeraclesPolicy().partition(node, NodeBudget(60))
+        truth = node.true_performance(heracles.best_config)
+        clite_node = make_node(mini_server, lc_loads=(0.8, 0.8), n_bg=1, noise=0.0)
+        clite = CLITEPolicy(seed=0).partition(clite_node, NodeBudget(60))
+        # Heracles' primary is fine, but the mix as a whole is worse
+        # off (or equal) compared to CLITE's joint optimization.
+        assert truth.job("lc0").qos_met
+        assert clite.qos_met or not truth.all_qos_met
+
+
+class TestRandomPlus:
+    def test_spends_preset_budget(self, easy_node):
+        result = RandomPlusPolicy(preset_samples=20, seed=0).partition(
+            easy_node, BUDGET
+        )
+        assert result.samples_taken == 20
+        assert result.converged
+
+    def test_budget_caps_preset(self, easy_node):
+        result = RandomPlusPolicy(preset_samples=100, seed=0).partition(
+            easy_node, NodeBudget(15)
+        )
+        assert result.samples_taken == 15
+
+    def test_dedup_spreads_samples(self, easy_node):
+        result = RandomPlusPolicy(
+            preset_samples=15, min_distance=2.0, seed=0
+        ).partition(easy_node, BUDGET)
+        configs = [entry.config for entry in result.trace]
+        assert len({c.flat() for c in configs}) == len(configs)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomPlusPolicy(preset_samples=0)
+        with pytest.raises(ValueError):
+            RandomPlusPolicy(min_distance=-1.0)
+        with pytest.raises(ValueError):
+            RandomPlusPolicy(max_draw_attempts=0)
+
+
+class TestGenetic:
+    def test_spends_preset_budget(self, easy_node):
+        result = GeneticPolicy(preset_samples=24, seed=0).partition(
+            easy_node, BUDGET
+        )
+        assert result.samples_taken == 24
+
+    def test_all_configs_valid(self, easy_node):
+        result = GeneticPolicy(preset_samples=30, seed=1).partition(
+            easy_node, BUDGET
+        )
+        for entry in result.trace:
+            easy_node.space.validate(entry.config)
+
+    def test_crossover_repairs_columns(self, easy_node):
+        policy = GeneticPolicy(seed=0)
+        rng = np.random.default_rng(0)
+        a = easy_node.space.random(rng)
+        b = easy_node.space.random(rng)
+        child = policy._crossover(easy_node, a, b, rng)
+        easy_node.space.validate(child)
+
+    def test_mutation_is_single_transfer(self, easy_node):
+        policy = GeneticPolicy(seed=0)
+        rng = np.random.default_rng(3)
+        config = easy_node.space.equal_partition()
+        mutated = policy._mutate(easy_node, config, rng)
+        diff = np.abs(mutated.as_array() - config.as_array())
+        assert diff.sum() in (0, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GeneticPolicy(preset_samples=1)
+        with pytest.raises(ValueError):
+            GeneticPolicy(population=1)
+        with pytest.raises(ValueError):
+            GeneticPolicy(mutation_prob=1.5)
+
+
+class TestOracle:
+    def test_exhaustive_on_tiny_space(self, tiny_server):
+        node = make_node(tiny_server, lc_loads=(0.3,), n_bg=1, noise=0.0)
+        result = OraclePolicy(max_enumeration=10_000).partition(node, BUDGET)
+        assert result.qos_met
+        # Sweeps the whole lattice plus isolation baselines.
+        assert result.evaluations >= node.space.size()
+
+    def test_consumes_no_online_samples(self, easy_node):
+        result = OraclePolicy(max_enumeration=5000).partition(easy_node, BUDGET)
+        assert result.samples_taken == 0
+        assert easy_node.samples_taken == 0
+
+    def test_oracle_beats_or_matches_everyone(self, mini_server):
+        seeds_results = []
+        for factory in (
+            lambda: OraclePolicy(max_enumeration=5000),
+            lambda: RandomPlusPolicy(preset_samples=30, seed=0),
+            lambda: PartiesPolicy(),
+        ):
+            node = make_node(mini_server, lc_loads=(0.3, 0.2), n_bg=1, noise=0.0)
+            result = factory().partition(node, BUDGET)
+            truth = (
+                node.true_performance(result.best_config)
+                if result.best_config
+                else None
+            )
+            perf = truth.job("bg0").throughput_norm if truth and truth.all_qos_met else 0
+            seeds_results.append(perf)
+        oracle_perf = seeds_results[0]
+        assert oracle_perf >= max(seeds_results[1:]) - 1e-6
+
+    def test_stride_picked_to_fit(self, easy_node):
+        policy = OraclePolicy(max_enumeration=100)
+        stride = policy._pick_stride(easy_node)
+        assert easy_node.space.strided_size(stride) <= 100 or stride > 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OraclePolicy(max_enumeration=0)
+        with pytest.raises(ValueError):
+            OraclePolicy(climb_seeds=0)
+
+
+class TestDesigns:
+    def test_hadamard_orthogonal(self):
+        h = hadamard(8)
+        assert np.allclose(h @ h.T, 8 * np.eye(8))
+
+    def test_hadamard_bad_order(self):
+        with pytest.raises(ValueError):
+            hadamard(6)
+
+    def test_two_level_design_shape(self):
+        design = two_level_design(9)
+        assert design.shape == (32, 9)  # 16-run PB folded over
+        assert set(np.unique(design)) == {-1.0, 1.0}
+
+    def test_fold_over_balances_columns(self):
+        design = two_level_design(5)
+        assert np.allclose(design.sum(axis=0), 0)
+
+    def test_box_behnken_run_count(self):
+        design = box_behnken_design(9)
+        assert design.shape == (2 * 9 * 8, 9)  # 144 runs, paper ~130
+
+    def test_central_composite_includes_axials(self):
+        design = central_composite_design(4)
+        axials = design[-8:]
+        assert np.count_nonzero(axials) == 8
+
+    def test_ffd_policy_runs(self, easy_node):
+        result = FFDPolicy(seed=0).partition(easy_node, BUDGET)
+        assert result.best_config is not None
+        for entry in result.trace:
+            easy_node.space.validate(entry.config)
+
+    def test_rsm_policy_runs(self, easy_node):
+        result = RSMPolicy(seed=0).partition(easy_node, NodeBudget(200))
+        assert result.best_config is not None
+        assert result.samples_taken <= 200
+
+    def test_rsm_needs_more_samples_than_ffd(self, easy_node, mini_server):
+        ffd_node = make_node(mini_server, lc_loads=(0.3, 0.2), n_bg=1, noise=0.01)
+        rsm_node = make_node(mini_server, lc_loads=(0.3, 0.2), n_bg=1, noise=0.01)
+        ffd = FFDPolicy(seed=0).partition(ffd_node, NodeBudget(500))
+        rsm = RSMPolicy(seed=0).partition(rsm_node, NodeBudget(500))
+        assert rsm.samples_taken > ffd.samples_taken
+
+    def test_rsm_invalid_design(self):
+        with pytest.raises(ValueError):
+            RSMPolicy(design="latin-hypercube")
+
+    def test_ffd_invalid_levels(self):
+        with pytest.raises(ValueError):
+            FFDPolicy(low=0.9, high=0.1)

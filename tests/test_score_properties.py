@@ -1,0 +1,164 @@
+"""Property-based tests of the Eq. 3 score function's invariants."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QOS_MET_THRESHOLD, ScoreFunction
+from repro.server.node import BG_ROLE, LC_ROLE, JobObservation, Observation
+from repro.resources import Configuration
+
+
+def lc_reading(name: str, p95: float, target: float) -> JobObservation:
+    return JobObservation(
+        name=name,
+        role=LC_ROLE,
+        load_fraction=0.5,
+        qps=100.0,
+        p95_ms=p95,
+        qos_target_ms=target,
+        throughput_norm=None,
+    )
+
+
+def bg_reading(name: str, perf: float) -> JobObservation:
+    return JobObservation(
+        name=name,
+        role=BG_ROLE,
+        load_fraction=None,
+        qps=None,
+        p95_ms=None,
+        qos_target_ms=None,
+        throughput_norm=perf,
+    )
+
+
+def observation(jobs) -> Observation:
+    return Observation(
+        config=Configuration.from_matrix([[1] for _ in jobs]),
+        time_s=0.0,
+        window_s=2.0,
+        jobs=tuple(jobs),
+    )
+
+
+latencies = st.floats(0.01, 10_000.0, allow_nan=False)
+targets = st.floats(0.1, 100.0, allow_nan=False)
+perfs = st.floats(0.001, 1.0, allow_nan=False)
+
+
+@given(
+    p95s=st.lists(latencies, min_size=1, max_size=4),
+    target=targets,
+    bg=perfs,
+)
+@settings(max_examples=120, deadline=None)
+def test_score_always_in_unit_interval(p95s, target, bg):
+    fn = ScoreFunction()
+    jobs = [lc_reading(f"lc{i}", p, target) for i, p in enumerate(p95s)]
+    jobs.append(bg_reading("bg", bg))
+    score = fn(observation(jobs))
+    assert 0.0 <= score <= 1.0
+
+
+@given(
+    p95s=st.lists(latencies, min_size=1, max_size=4),
+    target=targets,
+    bg=perfs,
+)
+@settings(max_examples=120, deadline=None)
+def test_mode_split_at_half(p95s, target, bg):
+    """Violating mixes never score above 0.5; feasible mixes never below."""
+    fn = ScoreFunction()
+    jobs = [lc_reading(f"lc{i}", p, target) for i, p in enumerate(p95s)]
+    jobs.append(bg_reading("bg", bg))
+    obs = observation(jobs)
+    score = fn(obs)
+    if all(p <= target for p in p95s):
+        assert score >= QOS_MET_THRESHOLD
+    else:
+        assert score <= QOS_MET_THRESHOLD
+
+
+@given(
+    target=targets,
+    bg_lo=perfs,
+    bg_hi=perfs,
+)
+@settings(max_examples=100, deadline=None)
+def test_mode2_monotone_in_bg_performance(target, bg_lo, bg_hi):
+    fn = ScoreFunction()
+    lo, hi = sorted((bg_lo, bg_hi))
+    lc = lc_reading("lc", target * 0.5, target)
+    score_lo = fn(observation([lc, bg_reading("bg", lo)]))
+    score_hi = fn(observation([lc, bg_reading("bg", hi)]))
+    assert score_hi >= score_lo - 1e-12
+
+
+@given(
+    target=targets,
+    near=st.floats(1.01, 2.0, allow_nan=False),
+    far=st.floats(2.01, 50.0, allow_nan=False),
+    bg=perfs,
+)
+@settings(max_examples=100, deadline=None)
+def test_mode1_monotone_in_violation_depth(target, near, far, bg):
+    """A job closer to its target scores higher than one further away —
+    the smoothness Sec. 4 demands of the objective."""
+    fn = ScoreFunction()
+    score_near = fn(
+        observation(
+            [lc_reading("lc", target * near, target), bg_reading("bg", bg)]
+        )
+    )
+    score_far = fn(
+        observation(
+            [lc_reading("lc", target * far, target), bg_reading("bg", bg)]
+        )
+    )
+    assert score_near >= score_far - 1e-12
+
+
+@given(
+    target=targets,
+    p95=st.floats(0.01, 100.0, allow_nan=False),
+    bg=perfs,
+)
+@settings(max_examples=80, deadline=None)
+def test_mode1_ignores_bg_performance(target, p95, bg):
+    """Until every LC job meets QoS, BG throughput must not buy score."""
+    fn = ScoreFunction()
+    violating = target * (1.0 + p95 / 100.0 + 0.01)
+    base = fn(
+        observation(
+            [lc_reading("lc", violating, target), bg_reading("bg", 0.01)]
+        )
+    )
+    rich = fn(
+        observation(
+            [lc_reading("lc", violating, target), bg_reading("bg", bg)]
+        )
+    )
+    assert base == pytest.approx(rich)
+
+
+@given(target=targets, bg=perfs, baseline=st.floats(0.05, 1.0, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_bg_baseline_normalization(target, bg, baseline):
+    """Recording an isolation baseline rescales the BG term."""
+    fn = ScoreFunction()
+    iso = observation([bg_reading("bg", baseline)])
+    fn.record_isolation("bg", iso)
+    lc = lc_reading("lc", target * 0.5, target)
+    score = fn(observation([lc, bg_reading("bg", bg)]))
+    expected_tail = min(1.0, bg / baseline)
+    assert score == pytest.approx(0.5 + 0.5 * expected_tail)
+
+
+def test_replace_keeps_observation_frozen():
+    obs = observation([bg_reading("bg", 0.5)])
+    clone = replace(obs, time_s=5.0)
+    assert clone.time_s == 5.0
+    assert obs.time_s == 0.0

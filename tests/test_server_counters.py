@@ -1,0 +1,65 @@
+"""Unit tests for the noisy performance counters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.server import PerformanceCounters
+
+
+class TestPerformanceCounters:
+    def test_zero_noise_passthrough(self):
+        counters = PerformanceCounters(relative_std=0.0, seed=1)
+        assert counters.read(42.0) == 42.0
+
+    def test_zero_value_passthrough(self):
+        counters = PerformanceCounters(relative_std=0.1, seed=1)
+        assert counters.read(0.0) == 0.0
+
+    def test_infinite_value_passthrough(self):
+        counters = PerformanceCounters(relative_std=0.1, seed=1)
+        assert math.isinf(counters.read(float("inf")))
+
+    def test_negative_value_rejected(self):
+        counters = PerformanceCounters(seed=1)
+        with pytest.raises(ValueError):
+            counters.read(-1.0)
+
+    def test_noise_keeps_readings_positive(self):
+        counters = PerformanceCounters(relative_std=0.5, seed=7)
+        assert all(counters.read(1.0) > 0 for _ in range(200))
+
+    def test_noise_magnitude_tracks_relative_std(self):
+        counters = PerformanceCounters(relative_std=0.05, seed=3)
+        readings = np.array([counters.read(100.0) for _ in range(4000)])
+        # Log-normal with sigma=0.05 -> std of log ~ 0.05.
+        assert np.log(readings / 100.0).std() == pytest.approx(0.05, rel=0.15)
+
+    def test_longer_window_reduces_noise(self):
+        a = PerformanceCounters(relative_std=0.1, seed=5)
+        b = PerformanceCounters(relative_std=0.1, seed=5)
+        short = np.array([a.read(1.0, window_s=1.0) for _ in range(3000)])
+        long = np.array([b.read(1.0, window_s=8.0) for _ in range(3000)])
+        assert np.log(long).std() < np.log(short).std()
+
+    def test_reseed_reproducible(self):
+        counters = PerformanceCounters(relative_std=0.1, seed=2)
+        first = [counters.read(10.0) for _ in range(5)]
+        counters.reseed(2)
+        second = [counters.read(10.0) for _ in range(5)]
+        assert first == second
+
+    def test_median_unbiased(self):
+        counters = PerformanceCounters(relative_std=0.2, seed=11)
+        readings = np.array([counters.read(50.0) for _ in range(5001)])
+        assert np.median(readings) == pytest.approx(50.0, rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PerformanceCounters(relative_std=-0.1)
+        with pytest.raises(ValueError):
+            PerformanceCounters(reference_window_s=0.0)
+        counters = PerformanceCounters(seed=1)
+        with pytest.raises(ValueError):
+            counters.read(1.0, window_s=0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for the post-convergence QoS monitor."""
+
+import pytest
+
+from repro.server import Job, Node, PerformanceCounters, QoSMonitor, Trigger
+from repro.workloads import LoadSchedule
+
+from conftest import make_bg, make_lc
+
+
+def build_node(mini_server, schedule, noise=0.0):
+    jobs = [Job(make_lc("lc0"), schedule), Job.bg(make_bg("bg0"))]
+    return Node(
+        mini_server,
+        jobs,
+        counters=PerformanceCounters(relative_std=noise, seed=0),
+    )
+
+
+class TestQoSMonitor:
+    def test_first_check_arms(self, mini_server):
+        node = build_node(mini_server, LoadSchedule.constant(0.3))
+        monitor = QoSMonitor(node)
+        report = monitor.check(node.space.equal_partition())
+        assert report.trigger is Trigger.NONE
+        assert not report.reinvoke
+
+    def test_steady_state_no_trigger(self, mini_server):
+        node = build_node(mini_server, LoadSchedule.constant(0.3))
+        monitor = QoSMonitor(node)
+        config = node.space.equal_partition()
+        for _ in range(5):
+            assert monitor.check(config).trigger is Trigger.NONE
+
+    def test_load_change_triggers(self, mini_server):
+        schedule = LoadSchedule.steps([(0, 0.2), (6, 0.5)])
+        node = build_node(mini_server, schedule)
+        monitor = QoSMonitor(node, load_change_threshold=0.05)
+        config = node.space.equal_partition()
+        triggers = [monitor.check(config).trigger for _ in range(5)]
+        assert Trigger.LOAD_CHANGE in triggers
+
+    def test_small_load_change_ignored(self, mini_server):
+        schedule = LoadSchedule.steps([(0, 0.2), (6, 0.22)])
+        node = build_node(mini_server, schedule)
+        monitor = QoSMonitor(node, load_change_threshold=0.05)
+        config = node.space.equal_partition()
+        triggers = [monitor.check(config).trigger for _ in range(5)]
+        assert all(t is Trigger.NONE for t in triggers)
+
+    def test_qos_violation_needs_patience(self, mini_server):
+        node = build_node(mini_server, LoadSchedule.constant(0.9))
+        monitor = QoSMonitor(node, violation_patience=2)
+        config = node.space.max_allocation(1)  # starves the LC job
+        first = monitor.check(config)
+        second = monitor.check(config)
+        third = monitor.check(config)
+        assert first.trigger is Trigger.NONE  # arming window
+        assert second.trigger is Trigger.NONE  # patience 1/2
+        assert third.trigger is Trigger.QOS_VIOLATION
+
+    def test_violation_counter_resets_on_recovery(self, mini_server):
+        node = build_node(mini_server, LoadSchedule.constant(0.3))
+        monitor = QoSMonitor(node, violation_patience=2)
+        good = node.space.equal_partition()
+        bad = node.space.max_allocation(1)
+        monitor.check(good)  # arm
+        monitor.check(bad)  # violation 1/2
+        assert monitor.check(good).trigger is Trigger.NONE  # reset
+        assert monitor.check(bad).trigger is Trigger.NONE  # violation 1/2 again
+
+    def test_invalid_parameters(self, mini_server):
+        node = build_node(mini_server, LoadSchedule.constant(0.3))
+        with pytest.raises(ValueError):
+            QoSMonitor(node, load_change_threshold=0.0)
+        with pytest.raises(ValueError):
+            QoSMonitor(node, violation_patience=0)

@@ -1,0 +1,197 @@
+"""Unit tests for the simulated co-location node."""
+
+import math
+
+import pytest
+
+from repro.server import BG_ROLE, LC_ROLE, Job, Node, NodeBudget, PerformanceCounters
+from repro.workloads import LoadSchedule
+
+from conftest import make_bg, make_lc, make_node
+
+
+class TestJob:
+    def test_lc_job_requires_load(self):
+        with pytest.raises(ValueError, match="needs a load schedule"):
+            Job(make_lc())
+
+    def test_lc_job_requires_calibration(self):
+        raw = make_lc(qos_latency_ms=None, max_qps=None)
+        with pytest.raises(ValueError, match="must be calibrated"):
+            Job.lc(raw, 0.5)
+
+    def test_bg_job_rejects_load(self):
+        with pytest.raises(ValueError, match="do not take a load schedule"):
+            Job(make_bg(), LoadSchedule.constant(0.5))
+
+    def test_roles(self):
+        assert Job.lc(make_lc(), 0.5).role == LC_ROLE
+        assert Job.bg(make_bg()).role == BG_ROLE
+
+
+class TestNodeConstruction:
+    def test_needs_jobs(self, mini_server):
+        with pytest.raises(ValueError, match="at least one job"):
+            Node(mini_server, [])
+
+    def test_unique_names_required(self, mini_server):
+        jobs = [Job.lc(make_lc("a"), 0.3), Job.lc(make_lc("a"), 0.4)]
+        with pytest.raises(ValueError, match="unique"):
+            Node(mini_server, jobs)
+
+    def test_positive_window_required(self, mini_server):
+        with pytest.raises(ValueError, match="window"):
+            Node(mini_server, [Job.bg(make_bg())], window_s=0.0)
+
+    def test_indices(self, quiet_node):
+        assert quiet_node.lc_indices == (0, 1)
+        assert quiet_node.bg_indices == (2,)
+        assert quiet_node.job_names() == ("lc0", "lc1", "bg0")
+
+
+class TestObserve:
+    def test_observation_structure(self, quiet_node):
+        obs = quiet_node.observe(quiet_node.space.equal_partition())
+        assert len(obs.jobs) == 3
+        assert len(obs.lc_jobs) == 2
+        assert len(obs.bg_jobs) == 1
+        lc = obs.lc_jobs[0]
+        assert lc.p95_ms is not None and lc.qos_target_ms is not None
+        bg = obs.bg_jobs[0]
+        assert bg.throughput_norm is not None and bg.p95_ms is None
+
+    def test_clock_advances_per_window(self, quiet_node):
+        assert quiet_node.clock_s == 0.0
+        quiet_node.observe(quiet_node.space.equal_partition())
+        assert quiet_node.clock_s == 2.0
+        quiet_node.observe(quiet_node.space.equal_partition())
+        assert quiet_node.clock_s == 4.0
+
+    def test_history_records_everything(self, quiet_node):
+        config = quiet_node.space.equal_partition()
+        quiet_node.observe(config)
+        quiet_node.observe(quiet_node.space.max_allocation(0))
+        assert quiet_node.samples_taken == 2
+        assert quiet_node.history[0].config == config
+
+    def test_isolation_layer_sees_applies(self, quiet_node):
+        quiet_node.observe(quiet_node.space.equal_partition())
+        assert quiet_node.isolation.current is not None
+
+    def test_invalid_config_rejected(self, quiet_node):
+        from repro.resources import Configuration
+
+        with pytest.raises(ValueError):
+            quiet_node.observe(Configuration.from_matrix([[6, 6, 6]]))
+
+    def test_noise_free_observation_matches_truth(self, quiet_node):
+        config = quiet_node.space.equal_partition()
+        truth = quiet_node.true_performance(config)
+        observed = quiet_node.observe(config)
+        for t, o in zip(truth.jobs, observed.jobs):
+            if t.role == LC_ROLE:
+                assert o.p95_ms == pytest.approx(t.p95_ms)
+            else:
+                assert o.throughput_norm == pytest.approx(t.throughput_norm)
+
+    def test_noisy_observation_differs_but_close(self, mini_server):
+        node = make_node(mini_server, lc_loads=(0.4,), n_bg=1, noise=0.05, seed=3)
+        config = node.space.equal_partition()
+        truth = node.true_performance(config)
+        observed = node.observe(config)
+        lc_t, lc_o = truth.lc_jobs[0], observed.lc_jobs[0]
+        assert lc_o.p95_ms != lc_t.p95_ms
+        assert lc_o.p95_ms == pytest.approx(lc_t.p95_ms, rel=0.5)
+
+    def test_true_performance_does_not_touch_state(self, quiet_node):
+        quiet_node.true_performance(quiet_node.space.equal_partition())
+        assert quiet_node.clock_s == 0.0
+        assert quiet_node.samples_taken == 0
+
+
+class TestPhysics:
+    def test_max_allocation_best_for_owner(self, quiet_node):
+        """An LC job's latency at max allocation beats equal partition."""
+        equal = quiet_node.true_performance(quiet_node.space.equal_partition())
+        maxed = quiet_node.true_performance(quiet_node.space.max_allocation(0))
+        assert maxed.job("lc0").p95_ms <= equal.job("lc0").p95_ms
+
+    def test_starved_bg_underperforms(self, quiet_node):
+        starved = quiet_node.true_performance(quiet_node.space.max_allocation(0))
+        fed = quiet_node.true_performance(quiet_node.space.max_allocation(2))
+        assert starved.job("bg0").throughput_norm < fed.job("bg0").throughput_norm
+
+    def test_saturation_reports_finite_overload_latency(self, mini_server):
+        node = make_node(mini_server, lc_loads=(1.0,), n_bg=2)
+        # The LC job at full load with a 1-unit allocation is saturated.
+        truth = node.true_performance(node.space.max_allocation(1))
+        latency = truth.job("lc0").p95_ms
+        assert math.isfinite(latency)
+        assert latency >= 1000.0 * node.window_s  # at least one window
+        assert not truth.job("lc0").qos_met
+
+    def test_overload_latency_grades_with_overload(self, mini_server):
+        light = make_node(mini_server, lc_loads=(0.8,), n_bg=2)
+        heavy = make_node(mini_server, lc_loads=(1.0,), n_bg=2)
+        config = light.space.max_allocation(1)
+        lat_light = light.true_performance(config).job("lc0").p95_ms
+        lat_heavy = heavy.true_performance(config).job("lc0").p95_ms
+        assert lat_heavy > lat_light
+
+    def test_load_schedule_drives_latency(self, mini_server):
+        lc = make_lc()
+        schedule = LoadSchedule.steps([(0, 0.1), (10, 0.8)])
+        node = Node(
+            mini_server,
+            [Job(lc, schedule), Job.bg(make_bg())],
+            counters=PerformanceCounters(relative_std=0.0),
+        )
+        config = node.space.equal_partition()
+        early = node.true_performance(config, at_time=0.0).job("lc").p95_ms
+        late = node.true_performance(config, at_time=20.0).job("lc").p95_ms
+        assert late > early
+
+    def test_advance_moves_clock(self, quiet_node):
+        quiet_node.advance(7.5)
+        assert quiet_node.clock_s == 7.5
+        with pytest.raises(ValueError):
+            quiet_node.advance(-1.0)
+
+    def test_reset(self, quiet_node):
+        quiet_node.observe(quiet_node.space.equal_partition())
+        quiet_node.reset(seed=9)
+        assert quiet_node.clock_s == 0.0
+        assert quiet_node.samples_taken == 0
+        assert quiet_node.isolation.current is None
+
+
+class TestObservationHelpers:
+    def test_job_lookup(self, quiet_node):
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        assert obs.job("bg0").role == BG_ROLE
+        with pytest.raises(KeyError):
+            obs.job("nope")
+
+    def test_qos_ratio(self, quiet_node):
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        lc = obs.lc_jobs[0]
+        expected = min(1.0, lc.qos_target_ms / lc.p95_ms)
+        assert lc.qos_ratio == pytest.approx(expected)
+
+    def test_qos_ratio_rejected_for_bg(self, quiet_node):
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        with pytest.raises(ValueError):
+            obs.job("bg0").qos_ratio
+
+    def test_all_qos_met_consistency(self, quiet_node):
+        obs = quiet_node.true_performance(quiet_node.space.equal_partition())
+        assert obs.all_qos_met == all(j.qos_met for j in obs.lc_jobs)
+
+
+class TestNodeBudget:
+    def test_valid(self):
+        assert NodeBudget(10).max_samples == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NodeBudget(0)

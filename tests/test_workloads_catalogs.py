@@ -1,0 +1,105 @@
+"""Unit tests for the Tailbench and PARSEC workload catalogs (Table 3)."""
+
+import pytest
+
+from repro.resources import LLC_WAYS, MEMORY_BANDWIDTH, default_server
+from repro.workloads import (
+    BG_ACRONYMS,
+    BG_NAMES,
+    LC_NAMES,
+    bg_workload,
+    lc_workload,
+    parsec_catalog,
+    tailbench_catalog,
+)
+
+
+class TestTailbenchCatalog:
+    def test_all_five_lc_workloads(self):
+        catalog = tailbench_catalog()
+        assert set(catalog) == set(LC_NAMES)
+        assert len(catalog) == 5
+
+    def test_calibrated_by_default(self):
+        for workload in tailbench_catalog().values():
+            assert workload.is_calibrated()
+            assert workload.qos_latency_ms > 0
+            assert workload.max_qps > 0
+
+    def test_uncalibrated_option(self):
+        raw = lc_workload("xapian", calibrated=False)
+        assert not raw.is_calibrated()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown LC workload"):
+            lc_workload("redis")
+
+    def test_calibration_cached(self):
+        server = default_server()
+        a = lc_workload("img-dnn", server)
+        b = lc_workload("img-dnn", server)
+        assert a is b
+
+    def test_memcached_is_fastest(self):
+        catalog = tailbench_catalog()
+        others = [w.max_qps for n, w in catalog.items() if n != "memcached"]
+        assert catalog["memcached"].max_qps > max(others)
+
+    def test_masstree_membw_dominant(self):
+        """Paper: masstree is sensitive on memory bandwidth (Fig. 9)."""
+        masstree = lc_workload("masstree", calibrated=False)
+        assert masstree.profile.sensitivity(MEMORY_BANDWIDTH) > (
+            masstree.profile.sensitivity(LLC_WAYS)
+        )
+
+    def test_img_dnn_llc_dominant(self):
+        """Paper: img-dnn leans on cores and LLC more than bandwidth."""
+        img = lc_workload("img-dnn", calibrated=False)
+        assert img.profile.sensitivity(LLC_WAYS) > img.profile.sensitivity(
+            MEMORY_BANDWIDTH
+        )
+
+    def test_every_lc_has_positive_serial_fraction(self):
+        for name in LC_NAMES:
+            assert lc_workload(name, calibrated=False).serial_fraction > 0
+
+
+class TestParsecCatalog:
+    def test_all_six_bg_workloads(self):
+        catalog = parsec_catalog()
+        assert set(catalog) == set(BG_NAMES)
+        assert len(catalog) == 6
+
+    def test_acronyms_cover_all(self):
+        assert set(BG_ACRONYMS) == set(BG_NAMES)
+        assert len(set(BG_ACRONYMS.values())) == 6
+
+    def test_lookup_by_acronym(self):
+        assert bg_workload("SC").name == "streamcluster"
+        assert bg_workload("bs").name == "blackscholes"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown BG workload"):
+            bg_workload("x264")
+
+    def test_streamcluster_is_bandwidth_dominated(self):
+        sc = bg_workload("streamcluster")
+        assert sc.profile.sensitivity(MEMORY_BANDWIDTH) > sc.profile.sensitivity(
+            LLC_WAYS
+        )
+
+    def test_compute_bound_jobs_insensitive_to_memory(self):
+        for name in ("blackscholes", "swaptions"):
+            workload = bg_workload(name)
+            assert workload.profile.sensitivity(MEMORY_BANDWIDTH) <= 0.3
+            assert workload.profile.sensitivity(LLC_WAYS) <= 0.3
+
+    def test_canneal_cache_sensitive(self):
+        cn = bg_workload("canneal")
+        assert cn.profile.sensitivity(LLC_WAYS) >= 1.0
+
+    def test_scalable_jobs_have_gentle_core_curves(self):
+        """Embarrassingly parallel kernels keep near-linear core scaling."""
+        bs = bg_workload("blackscholes")
+        cn = bg_workload("canneal")
+        assert bs.core_curve.shape < cn.core_curve.shape

@@ -1,0 +1,224 @@
+"""Unit and property tests for the tandem-queue latency model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import LLC_WAYS, MEMORY_BANDWIDTH
+from repro.workloads import (
+    SATURATED_LATENCY_MS,
+    capacity_qps,
+    effective_service_rate,
+    erlang_c,
+    mm1_mean_sojourn,
+    mm1_sojourn_quantile,
+    mmc_mean_sojourn,
+    mmc_sojourn_quantile,
+    p95_latency_ms,
+    stage_rates,
+)
+
+from conftest import make_lc
+
+FULL = {LLC_WAYS: 1.0, MEMORY_BANDWIDTH: 1.0}
+
+
+class TestErlangC:
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_single_server_equals_utilization(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang_c(1, 0.3) == pytest.approx(0.3)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_saturated_returns_one(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_known_value_two_servers(self):
+        # C(2, 1) = (1/2)^... classic result: a=1, c=2 -> 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(4, a) for a in (0.5, 1.0, 2.0, 3.0, 3.9)]
+        assert values == sorted(values)
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(8, 3.0) < erlang_c(4, 3.0)
+
+    def test_probability_bounds(self):
+        for c in (1, 3, 10):
+            for a in (0.1, 0.5 * c, 0.95 * c):
+                assert 0.0 <= erlang_c(c, a) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, -1.0)
+
+
+class TestMM1:
+    def test_quantile_is_exponential(self):
+        # Sojourn of M/M/1 is Exp(mu - lambda).
+        q = mm1_sojourn_quantile(50.0, 100.0, 0.95)
+        assert q == pytest.approx(-math.log(0.05) / 50.0)
+
+    def test_saturated(self):
+        assert math.isinf(mm1_sojourn_quantile(100.0, 100.0))
+        assert math.isinf(mm1_mean_sojourn(120.0, 100.0))
+
+    def test_mean(self):
+        assert mm1_mean_sojourn(60.0, 100.0) == pytest.approx(1 / 40.0)
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            mm1_sojourn_quantile(1.0, 2.0, percentile=1.0)
+
+
+class TestMMC:
+    def test_zero_load_is_service_quantile(self):
+        q = mmc_sojourn_quantile(0.0, 100.0, 4, 0.95)
+        assert q == pytest.approx(-math.log(0.05) / 100.0)
+
+    def test_saturation_returns_inf(self):
+        assert math.isinf(mmc_sojourn_quantile(400.0, 100.0, 4))
+        assert math.isinf(mmc_sojourn_quantile(500.0, 100.0, 4))
+
+    def test_quantile_increases_with_load(self):
+        qs = [mmc_sojourn_quantile(lam, 100.0, 4) for lam in (50, 200, 350, 390)]
+        assert qs == sorted(qs)
+
+    def test_quantile_decreases_with_servers(self):
+        q4 = mmc_sojourn_quantile(300.0, 100.0, 4)
+        q8 = mmc_sojourn_quantile(300.0, 100.0, 8)
+        assert q8 < q4
+
+    def test_quantile_matches_cdf_inversion(self):
+        # Verify the bisection: CDF at the returned quantile ~ target.
+        lam, mu, c = 250.0, 100.0, 4
+        q95 = mmc_sojourn_quantile(lam, mu, c, 0.95)
+        q50 = mmc_sojourn_quantile(lam, mu, c, 0.50)
+        assert q50 < q95
+
+    def test_mean_formula(self):
+        lam, mu, c = 200.0, 100.0, 4
+        pw = erlang_c(c, lam / mu)
+        expected = 1 / mu + pw / (c * mu - lam)
+        assert mmc_mean_sojourn(lam, mu, c) == pytest.approx(expected)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            mmc_sojourn_quantile(-1.0, 100.0, 4)
+
+
+class TestStageModel:
+    def test_stage_rates_split_by_serial_fraction(self):
+        lc = make_lc(base_service_rate=1000.0, serial_fraction=0.25)
+        mu_s, mu_p = stage_rates(lc, FULL)
+        assert mu_s == pytest.approx(4000.0)
+        assert mu_p == pytest.approx(1000.0 / 0.75)
+
+    def test_zero_serial_fraction_removes_stage(self):
+        lc = make_lc(serial_fraction=0.0)
+        mu_s, mu_p = stage_rates(lc, FULL)
+        assert math.isinf(mu_s)
+        assert mu_p == pytest.approx(lc.base_service_rate)
+
+    def test_capacity_serial_limited_with_many_cores(self):
+        lc = make_lc(base_service_rate=1000.0, serial_fraction=0.4)
+        # With enough cores the serial stage (mu/sigma = 2500) caps it.
+        assert capacity_qps(lc, 10, FULL) == pytest.approx(2500.0)
+
+    def test_capacity_core_limited_with_one_core(self):
+        lc = make_lc(base_service_rate=1000.0, serial_fraction=0.4)
+        assert capacity_qps(lc, 1, FULL) == pytest.approx(1000.0 / 0.6)
+
+    def test_capacity_monotone_in_cores_until_serial_cap(self):
+        lc = make_lc(serial_fraction=0.3)
+        caps = [capacity_qps(lc, c, FULL) for c in range(1, 11)]
+        assert all(b >= a - 1e-9 for a, b in zip(caps, caps[1:]))
+
+    def test_effective_rate_degrades_with_contention(self):
+        lc = make_lc()
+        assert effective_service_rate(lc, FULL, contention=1.0) < (
+            effective_service_rate(lc, FULL, contention=0.0)
+        )
+
+    def test_effective_rate_scales_with_shares(self):
+        lc = make_lc()
+        starved = {LLC_WAYS: 0.1, MEMORY_BANDWIDTH: 0.1}
+        assert effective_service_rate(lc, starved) < effective_service_rate(lc, FULL)
+
+
+class TestP95Latency:
+    def test_saturated_returns_inf(self):
+        lc = make_lc(base_service_rate=100.0, serial_fraction=0.3)
+        cap = capacity_qps(lc, 4, FULL)
+        assert p95_latency_ms(lc, cap * 1.01, 4, FULL) == SATURATED_LATENCY_MS
+
+    def test_low_load_finite_and_positive(self):
+        lc = make_lc()
+        latency = p95_latency_ms(lc, 10.0, 4, FULL)
+        assert 0 < latency < 100
+
+    def test_monotone_in_load(self):
+        lc = make_lc()
+        cap = capacity_qps(lc, 4, FULL)
+        latencies = [p95_latency_ms(lc, f * cap, 4, FULL) for f in (0.1, 0.5, 0.8, 0.95)]
+        assert latencies == sorted(latencies)
+
+    def test_more_resources_never_hurt_at_high_load(self):
+        lc = make_lc()
+        qps = 0.7 * capacity_qps(lc, 4, FULL)
+        rich = p95_latency_ms(lc, qps, 4, FULL)
+        poor = p95_latency_ms(lc, qps, 4, {LLC_WAYS: 0.3, MEMORY_BANDWIDTH: 0.3})
+        assert rich < poor
+
+    def test_knee_shape(self):
+        """The curve is flat at low load and explodes near capacity."""
+        lc = make_lc()
+        cap = capacity_qps(lc, 8, FULL)
+        low = p95_latency_ms(lc, 0.1 * cap, 8, FULL)
+        mid = p95_latency_ms(lc, 0.6 * cap, 8, FULL)
+        high = p95_latency_ms(lc, 0.97 * cap, 8, FULL)
+        assert mid < 3 * low  # flat-ish region
+        assert high > 5 * low  # divergence
+
+    def test_invalid_inputs(self):
+        lc = make_lc()
+        with pytest.raises(ValueError):
+            p95_latency_ms(lc, -1.0, 4, FULL)
+        with pytest.raises(ValueError):
+            p95_latency_ms(lc, 10.0, 0, FULL)
+        with pytest.raises(ValueError):
+            capacity_qps(lc, 0, FULL)
+
+
+@given(
+    sigma=st.floats(0.05, 0.8, allow_nan=False),
+    cores=st.integers(1, 10),
+    load=st.floats(0.01, 0.95, allow_nan=False),
+    llc=st.floats(0.1, 1.0, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_latency_finite_below_capacity(sigma, cores, load, llc):
+    lc = make_lc(serial_fraction=sigma)
+    shares = {LLC_WAYS: llc, MEMORY_BANDWIDTH: 1.0}
+    cap = capacity_qps(lc, cores, shares)
+    latency = p95_latency_ms(lc, load * cap, cores, shares)
+    assert math.isfinite(latency)
+    assert latency > 0
+
+
+@given(
+    cores_a=st.integers(1, 9),
+    load=st.floats(0.1, 0.9, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_more_cores_never_increase_saturation(cores_a, load):
+    lc = make_lc()
+    assert capacity_qps(lc, cores_a + 1, FULL) >= capacity_qps(lc, cores_a, FULL) - 1e-9

@@ -1,0 +1,105 @@
+"""Unit tests for the BG throughput model and interference coupling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import CORES, LLC_WAYS, MEMORY_BANDWIDTH
+from repro.workloads import (
+    co_runner_pressure,
+    exerted_pressure,
+    isolated_throughput,
+    normalized_throughput,
+    throughput,
+)
+
+from conftest import make_bg, make_lc
+
+FULL = {CORES: 1.0, LLC_WAYS: 1.0, MEMORY_BANDWIDTH: 1.0}
+
+
+class TestThroughput:
+    def test_isolated_equals_full_alloc_no_contention(self):
+        bg = make_bg()
+        assert isolated_throughput(bg) == pytest.approx(throughput(bg, FULL))
+
+    def test_normalized_is_one_in_isolation(self):
+        bg = make_bg()
+        assert normalized_throughput(bg, FULL) == pytest.approx(1.0)
+
+    def test_fewer_cores_less_throughput(self):
+        bg = make_bg()
+        half = dict(FULL, **{CORES: 0.5})
+        assert throughput(bg, half) < throughput(bg, FULL)
+
+    def test_bandwidth_sensitivity(self):
+        bg = make_bg(membw_weight=1.5)
+        starved = dict(FULL, **{MEMORY_BANDWIDTH: 0.2})
+        assert normalized_throughput(bg, starved) < 0.7
+
+    def test_contention_degrades(self):
+        bg = make_bg()
+        assert throughput(bg, FULL, contention=2.0) < throughput(bg, FULL)
+
+    def test_missing_core_share_treated_as_full(self):
+        bg = make_bg()
+        assert throughput(bg, {}) == pytest.approx(isolated_throughput(bg))
+
+    def test_normalized_bounded(self):
+        bg = make_bg()
+        for core in (0.1, 0.5, 1.0):
+            for mem in (0.1, 0.5, 1.0):
+                shares = {CORES: core, MEMORY_BANDWIDTH: mem, LLC_WAYS: 0.5}
+                assert 0 < normalized_throughput(bg, shares) <= 1.0
+
+
+class TestInterference:
+    def test_exerted_pressure_scales_with_activity(self):
+        lc = make_lc()
+        assert exerted_pressure(lc, 1.0) == pytest.approx(lc.pressure)
+        assert exerted_pressure(lc, 0.5) == pytest.approx(0.5 * lc.pressure)
+
+    def test_activity_clamped(self):
+        lc = make_lc()
+        assert exerted_pressure(lc, -1.0) == 0.0
+        assert exerted_pressure(lc, 2.0) == pytest.approx(lc.pressure)
+
+    def test_co_runner_pressure_excludes_victim(self):
+        pressures = [0.1, 0.2, 0.3]
+        assert co_runner_pressure(pressures, 0) == pytest.approx(0.5)
+        assert co_runner_pressure(pressures, 1) == pytest.approx(0.4)
+        assert co_runner_pressure(pressures, 2) == pytest.approx(0.3)
+
+    def test_single_job_feels_nothing(self):
+        assert co_runner_pressure([0.4], 0) == 0.0
+
+    def test_bad_victim_index(self):
+        with pytest.raises(IndexError):
+            co_runner_pressure([0.1], 1)
+
+
+@given(
+    core=st.floats(0.05, 1.0, allow_nan=False),
+    llc=st.floats(0.0, 1.0, allow_nan=False),
+    membw=st.floats(0.0, 1.0, allow_nan=False),
+    contention=st.floats(0.0, 3.0, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_throughput_positive_and_bounded_by_isolation(core, llc, membw, contention):
+    bg = make_bg()
+    shares = {CORES: core, LLC_WAYS: llc, MEMORY_BANDWIDTH: membw}
+    value = throughput(bg, shares, contention)
+    assert 0 < value <= isolated_throughput(bg) + 1e-9
+
+
+@given(
+    a=st.floats(0.05, 1.0, allow_nan=False),
+    b=st.floats(0.05, 1.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_throughput_monotone_in_core_share(a, b):
+    bg = make_bg()
+    lo, hi = sorted((a, b))
+    t_lo = throughput(bg, dict(FULL, **{CORES: lo}))
+    t_hi = throughput(bg, dict(FULL, **{CORES: hi}))
+    assert t_lo <= t_hi + 1e-9
