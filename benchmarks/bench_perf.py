@@ -1,0 +1,189 @@
+"""Tracked perf benchmark for the BO hot path.
+
+Unlike the figure benches (which reproduce the paper's *results*), this
+bench tracks the *speed* of the reproduction itself: how many CLITE
+iterations per second the engine sustains end to end, how fast the
+acquisition optimizer proposes, and GP fit/predict microbenchmarks.
+
+A full run writes ``BENCH_perf.json`` at the repo root with three
+sections:
+
+* ``baseline`` — the pre-optimization numbers, frozen in this file as
+  constants (measured on the seed revision with the same methodology);
+* ``current``  — this run's numbers;
+* ``speedup``  — current / baseline rates, so regressions in later PRs
+  show up as a ratio drifting down rather than an absolute number that
+  depends on the machine of the day.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py          # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick  # CI smoke, no JSON
+
+``--quick`` shrinks every workload so the whole script finishes in a few
+seconds and skips the JSON write — it exists to prove the harness runs,
+not to produce stable numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import CLITEConfig, CLITEEngine
+from repro.core.gp import GaussianProcess
+from repro.core.optimizer import AcquisitionOptimizer
+from repro.experiments import MixSpec
+from repro.schedulers import CLITEPolicy
+from repro.server import NodeBudget
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: The workload every timing section runs against: two LC jobs at
+#: moderate load sharing a node with one batch job — the paper's bread
+#: and butter co-location, heavy enough that the BO loop dominates.
+MIX = MixSpec.of(lc=[("img-dnn", 0.3), ("memcached", 0.3)], bg=["streamcluster"])
+
+#: Pre-optimization rates, measured on the seed revision (commit before
+#: this harness landed) with exactly the methodology below on the same
+#: container.  Frozen so every future run reports speedup against the
+#: same origin.
+BASELINE = {
+    "end_to_end": {
+        "samples": 107,
+        "seconds": 9.406007009000064,
+        "iterations_per_sec": 11.375709150292774,
+    },
+    "propose": {
+        "proposals": 20,
+        "seconds": 2.431524070000023,
+        "proposals_per_sec": 8.225293858596189,
+    },
+    "gp": {
+        "fit_per_sec": 2831.448673893597,
+        "predict_batch256_per_sec": 310.5317784245153,
+        # The seed GP had no add_sample(); incremental conditioning is
+        # compared against repeated batch refits of the same stream.
+        "incremental_build_seconds": None,
+    },
+}
+
+
+def bench_end_to_end(seeds=(0, 1), budget_units=80):
+    """Full CLITEPolicy.partition runs; the headline iterations/sec."""
+    samples = 0
+    t0 = time.perf_counter()
+    for seed in seeds:
+        node = MIX.build_node(seed=seed)
+        result = CLITEPolicy(seed=seed).partition(node, NodeBudget(budget_units))
+        samples += len(result.trace)
+    dt = time.perf_counter() - t0
+    return {"samples": samples, "seconds": dt, "iterations_per_sec": samples / dt}
+
+
+def bench_propose(n=20, warmup_iterations=12):
+    """AcquisitionOptimizer.propose against a realistically-sized GP."""
+    node = MIX.build_node(seed=0)
+    engine = CLITEEngine(node, CLITEConfig(seed=0, max_iterations=warmup_iterations))
+    result = engine.optimize()
+    records = result.samples
+    x = np.array([node.space.to_unit_cube(r.config) for r in records])
+    y = np.array([r.score for r in records])
+    gp = GaussianProcess()
+    gp.fit(x, y)
+    best = max(records, key=lambda r: r.score)
+    sampled = {r.config.flat() for r in records}
+    opt = AcquisitionOptimizer(node.space, rng=np.random.default_rng(0))
+    t0 = time.perf_counter()
+    for _ in range(n):
+        opt.propose(gp, best_score=best.score, sampled=sampled, incumbent=best.config)
+    dt = time.perf_counter() - t0
+    return {"proposals": n, "seconds": dt, "proposals_per_sec": n / dt}
+
+
+def bench_gp(n_train=60, d=9, n_query=256, reps=30):
+    """GP microbenchmarks: batch fit, batch predict, incremental build."""
+    rng = np.random.default_rng(0)
+    x = rng.random((n_train, d))
+    y = rng.random(n_train)
+    xq = rng.random((n_query, d))
+    gp = GaussianProcess()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        gp.fit(x, y)
+    fit_dt = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        gp.predict(xq)
+    pred_dt = time.perf_counter() - t0
+    incr_reps = max(reps // 3, 1)
+    t0 = time.perf_counter()
+    for _ in range(incr_reps):
+        g = GaussianProcess()
+        g.fit(x[:5], y[:5])
+        for i in range(5, n_train):
+            g.add_sample(x[i], y[i])
+    incr_dt = (time.perf_counter() - t0) / incr_reps
+    return {
+        "fit_per_sec": reps / fit_dt,
+        "predict_batch256_per_sec": reps / pred_dt,
+        "incremental_build_seconds": incr_dt,
+    }
+
+
+def speedups(current):
+    """current/baseline for every rate both sections report."""
+    out = {}
+    for section, metrics in BASELINE.items():
+        for key, base in metrics.items():
+            if not key.endswith("_per_sec") or base is None:
+                continue
+            now = current[section].get(key)
+            if now:
+                out[f"{section}.{key}"] = now / base
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: tiny workloads, prints results, does not write JSON",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        current = {
+            "end_to_end": bench_end_to_end(seeds=(0,), budget_units=25),
+            "propose": bench_propose(n=3, warmup_iterations=6),
+            "gp": bench_gp(n_train=20, reps=5),
+        }
+    else:
+        current = {
+            "end_to_end": bench_end_to_end(),
+            "propose": bench_propose(),
+            "gp": bench_gp(),
+        }
+
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "baseline": BASELINE,
+        "current": current,
+        "speedup": speedups(current),
+    }
+    print(json.dumps(report, indent=2))
+    if args.quick:
+        print("\n(quick mode: BENCH_perf.json not updated)")
+        return
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ from .scheduler import (
     PlacementPolicy,
     utilization_summary,
     verify_node,
+    verify_nodes,
 )
 from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
 
@@ -23,4 +24,5 @@ __all__ = [
     "PlacementPolicy",
     "utilization_summary",
     "verify_node",
+    "verify_nodes",
 ]

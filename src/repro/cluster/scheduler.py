@@ -16,9 +16,11 @@ introduction:
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.engine import CLITEConfig, CLITEEngine
 from ..server.node import NodeBudget
@@ -56,6 +58,36 @@ def verify_node(
     return truth.all_qos_met, (sum(bg) / len(bg) if bg else None)
 
 
+def verify_nodes(
+    node_states: Iterable[ClusterNode],
+    engine_config: Optional[CLITEConfig] = None,
+    seed: Optional[int] = 0,
+    max_workers: Optional[int] = None,
+) -> Dict[int, Tuple[bool, Optional[float]]]:
+    """Run :func:`verify_node` over many nodes, concurrently when possible.
+
+    Nodes are independent — each verification builds its own simulated
+    node and engine from the node state and the seed — so the runs are
+    embarrassingly parallel and deterministic regardless of scheduling.
+    A thread pool is used (numpy/scipy release the GIL in the kernels
+    the engine leans on); pass ``max_workers=1`` to force serial runs.
+    """
+    states = list(node_states)
+    if max_workers is None:
+        max_workers = min(len(states), os.cpu_count() or 1) or 1
+    if len(states) <= 1 or max_workers <= 1:
+        return {
+            state.index: verify_node(state, engine_config, seed)
+            for state in states
+        }
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            state.index: pool.submit(verify_node, state, engine_config, seed)
+            for state in states
+        }
+        return {index: future.result() for index, future in futures.items()}
+
+
 class PlacementPolicy(ABC):
     """Decides which node each job request lands on."""
 
@@ -77,13 +109,13 @@ class PlacementPolicy(ABC):
         seed: Optional[int],
         verify: bool,
         engine_config: Optional[CLITEConfig] = None,
+        max_workers: Optional[int] = None,
     ) -> PlacementOutcome:
         reports: Dict[int, Tuple[bool, Optional[float]]] = {}
         if verify:
-            for node_state in cluster.used_nodes():
-                reports[node_state.index] = verify_node(
-                    node_state, engine_config, seed
-                )
+            reports = verify_nodes(
+                cluster.used_nodes(), engine_config, seed, max_workers
+            )
         return PlacementOutcome(
             placements=cluster.placements(),
             rejected=tuple(rejected),
@@ -98,6 +130,9 @@ class DedicatedPlacement(PlacementPolicy):
     baseline the paper's introduction argues against)."""
 
     verify: bool = True
+    #: Thread-pool width for per-node verification (None = one worker
+    #: per used node, capped at the CPU count; 1 = serial).
+    verify_workers: Optional[int] = None
 
     name = "dedicated"
 
@@ -109,7 +144,10 @@ class DedicatedPlacement(PlacementPolicy):
                 rejected.append(request.request_name)
                 continue
             cluster.place(empty[0].index, request)
-        return self._finalize(cluster, rejected, seed, self.verify)
+        return self._finalize(
+            cluster, rejected, seed, self.verify,
+            max_workers=self.verify_workers,
+        )
 
 
 @dataclass
@@ -118,6 +156,7 @@ class FirstFitPlacement(PlacementPolicy):
 
     max_jobs_per_node: int = 4
     verify: bool = True
+    verify_workers: Optional[int] = None
 
     name = "first-fit"
 
@@ -140,7 +179,10 @@ class FirstFitPlacement(PlacementPolicy):
                 rejected.append(request.request_name)
                 continue
             cluster.place(target, request)
-        return self._finalize(cluster, rejected, seed, self.verify)
+        return self._finalize(
+            cluster, rejected, seed, self.verify,
+            max_workers=self.verify_workers,
+        )
 
 
 @dataclass
@@ -162,6 +204,7 @@ class CLITEPlacement(PlacementPolicy):
         default_factory=lambda: PLACEMENT_ENGINE
     )
     verify: bool = True
+    verify_workers: Optional[int] = None
 
     name = "clite"
 
@@ -201,7 +244,8 @@ class CLITEPlacement(PlacementPolicy):
                     continue
             cluster.place(target, request)
         return self._finalize(
-            cluster, rejected, seed, self.verify, self.engine_config
+            cluster, rejected, seed, self.verify, self.engine_config,
+            max_workers=self.verify_workers,
         )
 
 

@@ -134,7 +134,14 @@ class SampleRecord:
 
 @dataclass(frozen=True)
 class CLITEResult:
-    """Outcome of one CLITE optimization run."""
+    """Outcome of one CLITE optimization run.
+
+    ``cache_hits``/``cache_misses`` count the node's observation-cache
+    traffic during this run: a hit means the deterministic simulator had
+    already answered that (partition, load) point, so the window cost no
+    re-simulation (counter noise, when enabled, is still re-drawn per
+    window — see :class:`repro.server.node.Node`).
+    """
 
     best_config: Optional[Configuration]
     best_score: float
@@ -142,6 +149,8 @@ class CLITEResult:
     samples: Tuple[SampleRecord, ...]
     infeasible_jobs: Tuple[str, ...]
     converged: bool
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def samples_taken(self) -> int:
@@ -231,9 +240,11 @@ class CLITEEngine:
     # ------------------------------------------------------------------
     def optimize(self) -> CLITEResult:
         """Run the full bootstrap-then-BO loop and return the best found."""
+        cache_hits0, cache_misses0 = self.node.cache_info()
         records, infeasible = self._bootstrap_samples()
         if infeasible and self.config.stop_on_infeasible:
             best = max(records, key=lambda r: r.score)
+            hits, misses = self.node.cache_info()
             return CLITEResult(
                 best_config=best.config,
                 best_score=best.score,
@@ -241,6 +252,8 @@ class CLITEEngine:
                 samples=tuple(records),
                 infeasible_jobs=infeasible,
                 converged=False,
+                cache_hits=hits - cache_hits0,
+                cache_misses=misses - cache_misses0,
             )
 
         for record in records:
@@ -253,6 +266,7 @@ class CLITEEngine:
         self._termination.reset()
         converged = False
         first_qos_iteration: Optional[int] = None
+        n_conditioned = 0  # records already folded into the GP
 
         for iteration in range(self.config.max_iterations):
             if (
@@ -262,11 +276,23 @@ class CLITEEngine:
             ):
                 # Leave room in the budget for the confirmation windows.
                 break
-            x = np.array(
-                [self.node.space.to_unit_cube(r.config) for r in records]
-            )
-            y = np.array([r.score for r in records])
-            gp.fit(x, y)
+            # Condition the surrogate on the new observations only: the
+            # first round is a batch fit, every later round a rank-1
+            # Cholesky update per new sample (the GP refits itself in
+            # full only when its lengthscale heuristic shifts).
+            if not gp.is_fitted:
+                x = np.array(
+                    [self.node.space.to_unit_cube(r.config) for r in records]
+                )
+                y = np.array([r.score for r in records])
+                gp.fit(x, y)
+            else:
+                for record in records[n_conditioned:]:
+                    gp.add_sample(
+                        self.node.space.to_unit_cube(record.config),
+                        record.score,
+                    )
+            n_conditioned = len(records)
 
             best_record = max(records, key=lambda r: r.score)
 
@@ -355,6 +381,7 @@ class CLITEEngine:
 
         self._refine(records, sampled)
         best = self._confirm_best(records)
+        hits, misses = self.node.cache_info()
         return CLITEResult(
             best_config=best.config,
             best_score=best.score,
@@ -362,6 +389,8 @@ class CLITEEngine:
             samples=tuple(records),
             infeasible_jobs=infeasible,
             converged=converged,
+            cache_hits=hits - cache_hits0,
+            cache_misses=misses - cache_misses0,
         )
 
     def _repair_candidate(

@@ -49,6 +49,18 @@ class Kernel(ABC):
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
         """Covariance matrix between two point sets, shape (n1, n2)."""
 
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        """``k(x_i, x_i)`` for each row of ``x``, shape (n,).
+
+        For a stationary kernel this is the constant ``variance``, so
+        callers that only need the prior variance (e.g. GP ``predict``)
+        never have to materialize the full (n, n) Gram matrix.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.ndim != 2:
+            raise ValueError("kernel inputs must be 2-D (n_points, n_dims)")
+        return np.full(len(x), self.variance)
+
     def with_lengthscale(self, lengthscale: float) -> "Kernel":
         from dataclasses import replace
 

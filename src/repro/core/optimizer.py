@@ -14,15 +14,27 @@ row exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import ClassVar, List, Optional, Set, Tuple
 
 import numpy as np
 from scipy.optimize import minimize
 
-from ..resources.allocation import Configuration, ConfigurationSpace, _round_column
+from ..resources.allocation import (
+    Configuration,
+    ConfigurationSpace,
+    _round_columns_batch,
+)
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .dropout import DropoutDecision
 from .gp import GaussianProcess
+
+#: Infinity-norm of the finite-difference gradient below which a start is
+#: considered dead-flat: SLSQP cannot move from it, so the (expensive)
+#: solver call is skipped and the start itself stands as the solution.
+_FLAT_GRAD_TOL = 1e-12
+
+#: Forward-difference step for the acquisition gradient.
+_FD_EPS = 1e-6
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,11 @@ class Proposal:
 
     candidates: Tuple[Candidate, ...]
     max_acquisition: float
+
+    #: Seed for the running maximum: ``-inf`` rather than 0 so custom
+    #: acquisition functions whose values can go negative still produce
+    #: a faithful termination signal instead of a silent 0 floor.
+    EMPTY_MAX: ClassVar[float] = float("-inf")
 
 
 class AcquisitionOptimizer:
@@ -219,13 +236,21 @@ class AcquisitionOptimizer:
         self, z: np.ndarray, dropout: Optional[DropoutDecision]
     ) -> Configuration:
         """Project a cube vector onto the lattice, honoring a pinned row."""
+        vec = np.asarray(z, dtype=float).reshape(1, -1)
+        return Configuration.from_matrix(self._round_batch(vec, dropout)[0])
+
+    def _round_batch(
+        self, z: np.ndarray, dropout: Optional[DropoutDecision]
+    ) -> np.ndarray:
+        """Vectorized :meth:`_round`: (n, n_dims) cube -> (n, j, r) ints."""
+        z = np.asarray(z, dtype=float)
         if dropout is None or dropout.job_index is None:
-            return self.space.from_unit_cube(z)
+            return self.space.from_unit_cube_batch(z)
         n_jobs, n_res = self.space.n_jobs, self.space.n_resources
-        vec = np.asarray(z, dtype=float).reshape(n_jobs, n_res)
+        vec = np.clip(z.reshape(len(z), n_jobs, n_res), 0.0, 1.0)
         pin = dropout.job_index
-        matrix = np.empty((n_jobs, n_res), dtype=int)
         free = [j for j in range(n_jobs) if j != pin]
+        out = np.empty((len(z), n_jobs, n_res), dtype=int)
         for r, resource in enumerate(self.space.spec.resources):
             pinned_units = int(dropout.allocation[r])
             remaining = resource.units - pinned_units
@@ -233,11 +258,65 @@ class AcquisitionOptimizer:
                 # The pinned row is too greedy for this column; shrink it.
                 pinned_units = resource.units - len(free)
                 remaining = len(free)
-            matrix[pin, r] = pinned_units
+            out[:, pin, r] = pinned_units
             if free:
-                weights = np.clip(vec[free, r], 0.0, 1.0)
-                matrix[free, r] = _round_column(weights, remaining)
-        return Configuration.from_matrix(matrix)
+                out[:, free, r] = _round_columns_batch(
+                    vec[:, free, r], remaining
+                )
+        return out
+
+    def _repair_caps_batch(
+        self,
+        mats: np.ndarray,
+        upper_caps: Optional[np.ndarray],
+        dropout: Optional[DropoutDecision],
+    ) -> np.ndarray:
+        """Vectorized :meth:`_repair_caps` over a (n, j, r) stack.
+
+        Implements the same per-unit waterfall — each excess unit moves
+        to the not-pinned job with the most headroom, first index on
+        ties — but steps all configurations of the batch at once, so the
+        Python-level loop runs O(max excess) times instead of O(batch).
+        """
+        if upper_caps is None or len(mats) == 0:
+            return mats
+        caps = np.asarray(upper_caps).astype(int)
+        pin = (
+            dropout.job_index
+            if dropout is not None and dropout.job_index is not None
+            else None
+        )
+        mats = mats.copy()
+        n_jobs = self.space.n_jobs
+        for r in range(self.space.n_resources):
+            col = mats[:, :, r]
+            capr = caps[:, r]
+            for j in range(n_jobs):
+                if j == pin:
+                    continue
+                excess = col[:, j] - capr[j]
+                active = excess > 0
+                while active.any():
+                    headroom = capr[None, :] - col
+                    eligible = headroom > 0
+                    eligible[:, j] = False
+                    if pin is not None:
+                        eligible[:, pin] = False
+                    movable = active & eligible.any(axis=1)
+                    if not movable.any():
+                        break
+                    masked = np.where(
+                        eligible, headroom, np.iinfo(headroom.dtype).min
+                    )
+                    target = np.argmax(masked, axis=1)
+                    rows = np.nonzero(movable)[0]
+                    col[rows, j] -= 1
+                    col[rows, target[rows]] += 1
+                    excess[rows] -= 1
+                    # Rows whose excess remains but have no headroom left
+                    # stay over cap, like the scalar version's break.
+                    active = movable & (excess > 0)
+        return mats
 
     # ------------------------------------------------------------------
     # Pure exploitation: greedy walk on the posterior mean
@@ -299,8 +378,12 @@ class AcquisitionOptimizer:
         starts = [self.space.to_unit_cube(self.space.equal_partition())]
         if incumbent is not None:
             starts.append(self.space.to_unit_cube(incumbent))
-        for _ in range(self.n_restarts):
-            starts.append(self.space.to_unit_cube(self.space.random(self._rng)))
+        if self.n_restarts:
+            starts.extend(
+                self.space.to_unit_cube_batch(
+                    self.space.random_batch(self.n_restarts, self._rng)
+                )
+            )
         return [self._project_feasible(z, dropout) for z in starts]
 
     def propose(
@@ -329,78 +412,107 @@ class AcquisitionOptimizer:
                 (the engine uses it for pure-exploitation rounds).
         """
         acq_fn = acquisition if acquisition is not None else self.acquisition
+        space = self.space
+        pinned = dropout is not None and dropout.job_index is not None
 
-        def negative_acq(z: np.ndarray) -> float:
-            mean, std = gp.predict(z[None, :])
-            return -float(acq_fn(mean, std, best_score)[0])
-
-        def negative_acq_grad(z: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-            # One batched GP predict per gradient instead of d+1
-            # single-point calls; this is where SLSQP spends its time.
-            points = np.vstack([z, z + eps * np.eye(len(z))])
+        def fun_and_grad(z: np.ndarray) -> Tuple[float, np.ndarray]:
+            # One batched GP predict per SLSQP iteration — value plus
+            # forward differences in a single (d+1)-point call; this is
+            # where the solver spends its time.
+            points = np.vstack([z, z + _FD_EPS * np.eye(len(z))])
             mean, std = gp.predict(points)
             values = -acq_fn(mean, std, best_score)
-            return (values[1:] - values[0]) / eps
+            return float(values[0]), (values[1:] - values[0]) / _FD_EPS
+
+        def batch_acq(cube: np.ndarray) -> np.ndarray:
+            mean, std = gp.predict(cube)
+            return np.asarray(acq_fn(mean, std, best_score), dtype=float)
 
         # Stage 1: screen a pool of valid lattice points — random samples
         # for coverage plus the incumbent's single-unit-transfer
         # neighborhood, which is where the post-QoS "reshuffle resources
-        # toward the BG jobs" refinement happens.  With dropout the
-        # random samples are re-projected so the pinned row holds.
-        pool_configs: List[Configuration] = []
+        # toward the BG jobs" refinement happens.  The whole pool is
+        # generated, (with dropout) re-projected so the pinned row
+        # holds, cap-repaired, and scored as batched numpy arrays — no
+        # per-configuration Python round trips.
+        int_blocks: List[np.ndarray] = []
+        cube_blocks: List[np.ndarray] = []
         if self.pool_size:
-            for _ in range(self.pool_size):
-                config = self.space.random(self._rng)
-                if dropout is not None and dropout.job_index is not None:
-                    config = self._round(
-                        self.space.to_unit_cube(config), dropout
-                    )
-                pool_configs.append(self._repair_caps(config, upper_caps, dropout))
+            int_blocks.append(space.random_batch(self.pool_size, self._rng))
         if incumbent is not None:
-            for neighbor in self.space.neighbors(incumbent):
-                if dropout is not None and dropout.job_index is not None:
-                    neighbor = self._round(
-                        self.space.to_unit_cube(neighbor), dropout
-                    )
-                pool_configs.append(
-                    self._repair_caps(neighbor, upper_caps, dropout)
-                )
+            neighbors = space.neighbor_matrices(incumbent)
+            if len(neighbors):
+                int_blocks.append(neighbors)
             # Line-search candidates: blends between the incumbent and
             # each job's maximum-allocation extremum.  These cut across
             # the resource-equivalence ridges (e.g. "shift everything
             # spare toward the BG job") that single-unit moves cross
             # only one step per sample.
-            z_inc = self.space.to_unit_cube(incumbent)
-            for j in range(self.space.n_jobs):
-                z_ext = self.space.to_unit_cube(self.space.max_allocation(j))
-                for t in (0.25, 0.5, 0.75):
-                    blend = self._round((1 - t) * z_inc + t * z_ext, dropout)
-                    pool_configs.append(
-                        self._repair_caps(blend, upper_caps, dropout)
-                    )
-        if pool_configs:
-            pool_cube = np.array(
-                [self.space.to_unit_cube(c) for c in pool_configs]
+            z_inc = space.to_unit_cube(incumbent)
+            blends = np.array(
+                [
+                    (1 - t) * z_inc
+                    + t * space.to_unit_cube(space.max_allocation(j))
+                    for j in range(space.n_jobs)
+                    for t in (0.25, 0.5, 0.75)
+                ]
             )
-            mean, std = gp.predict(pool_cube)
-            pool_acq = acq_fn(mean, std, best_score)
+            cube_blocks.append(blends)
+        if int_blocks or cube_blocks:
+            if pinned:
+                cube_all = np.concatenate(
+                    [space.to_unit_cube_batch(m) for m in int_blocks]
+                    + cube_blocks
+                )
+                pool_mats = self._round_batch(cube_all, dropout)
+            else:
+                pool_mats = np.concatenate(
+                    int_blocks
+                    + [
+                        self._round_batch(c, None)
+                        for c in cube_blocks
+                    ]
+                )
+            pool_mats = self._repair_caps_batch(pool_mats, upper_caps, dropout)
+            pool_cube = space.to_unit_cube_batch(pool_mats)
+            pool_acq = batch_acq(pool_cube)
             top = np.argsort(-pool_acq)[: max(self.n_restarts // 2, 2)]
         else:
-            pool_cube = np.empty((0, self.space.n_dims))
+            pool_mats = np.empty((0, space.n_jobs, space.n_resources), dtype=int)
+            pool_cube = np.empty((0, space.n_dims))
             pool_acq = np.empty(0)
             top = np.empty(0, dtype=int)
 
         # Stage 2: SLSQP from informed starts plus the pool's best.
-        bounds = self._bounds(dropout, upper_caps)
-        constraints = self._constraints()
         starts = self._start_points(incumbent, dropout)
         starts.extend(pool_cube[i] for i in top)
+        unique: dict = {}
+        for z in starts:
+            unique.setdefault(np.round(z, 9).tobytes(), np.asarray(z))
+        starts = list(unique.values())
+
+        # Probe every start's finite-difference gradient in one batched
+        # predict; dead-flat starts (zero gradient, typical once EI has
+        # collapsed everywhere) cannot move under SLSQP, so the solver
+        # call is skipped and the start stands as its own optimum.
+        d = space.n_dims
+        eye = _FD_EPS * np.eye(d)
+        probe = np.vstack([np.vstack([z, z + eye]) for z in starts])
+        probe_acq = batch_acq(probe).reshape(len(starts), d + 1)
+        grads = (probe_acq[:, 1:] - probe_acq[:, :1]) / _FD_EPS
+        grad_flat = np.max(np.abs(grads), axis=1) < _FLAT_GRAD_TOL
+
+        bounds = self._bounds(dropout, upper_caps)
+        constraints = self._constraints()
         solutions: List[np.ndarray] = []
-        for x0 in starts:
+        for x0, flat in zip(starts, grad_flat):
+            if flat:
+                solutions.append(x0)
+                continue
             result = minimize(
-                negative_acq,
+                fun_and_grad,
                 x0,
-                jac=negative_acq_grad,
+                jac=True,
                 method="SLSQP",
                 bounds=bounds,
                 constraints=constraints,
@@ -408,33 +520,41 @@ class AcquisitionOptimizer:
             )
             solutions.append(result.x if result.success else x0)
 
+        # Evaluate the continuous optima (the termination signal) and
+        # their lattice projections in two batched predicts.
+        sol_cube = np.clip(np.array(solutions), 0.0, 1.0)
+        sol_acq = batch_acq(sol_cube)
+        sol_mats = self._repair_caps_batch(
+            self._round_batch(sol_cube, dropout), upper_caps, dropout
+        )
+        sol_values = batch_acq(space.to_unit_cube_batch(sol_mats))
+
+        max_acq = Proposal.EMPTY_MAX
+        if len(sol_acq):
+            max_acq = max(max_acq, float(sol_acq.max()))
+        if len(pool_acq):
+            max_acq = max(max_acq, float(pool_acq.max()))
+
         best_by_config: dict = {}
 
-        def consider(config: Configuration, value: float) -> None:
-            key = config.flat()
+        def consider(mat: np.ndarray, value: float) -> None:
+            key = tuple(v for row in mat.tolist() for v in row)
             if key in sampled:
                 return
-            if key not in best_by_config or value > best_by_config[key][1]:
-                best_by_config[key] = (config, value)
+            entry = best_by_config.get(key)
+            if entry is None or value > entry[1]:
+                best_by_config[key] = (mat, value)
 
-        max_acq = 0.0
-        for z in solutions:
-            max_acq = max(max_acq, -negative_acq(np.clip(z, 0.0, 1.0)))
-            config = self._repair_caps(
-                self._round(np.clip(z, 0.0, 1.0), dropout), upper_caps, dropout
-            )
-            cube = self.space.to_unit_cube(config)
-            mean, std = gp.predict(cube[None, :])
-            value = float(acq_fn(mean, std, best_score)[0])
-            consider(config, value)
-        for config, value in zip(pool_configs, pool_acq):
-            max_acq = max(max_acq, float(value))
-            consider(config, float(value))
+        for mat, value in zip(sol_mats, sol_values):
+            consider(mat, float(value))
+        for mat, value in zip(pool_mats, pool_acq):
+            consider(mat, float(value))
 
         ranked = sorted(
             best_by_config.values(), key=lambda pair: pair[1], reverse=True
         )
         candidates = tuple(
-            Candidate(config=c, acquisition_value=v) for c, v in ranked
+            Candidate(config=Configuration.from_matrix(m), acquisition_value=v)
+            for m, v in ranked
         )
         return Proposal(candidates=candidates, max_acquisition=max_acq)

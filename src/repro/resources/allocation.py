@@ -92,21 +92,46 @@ def _round_column(weights: np.ndarray, total: int) -> np.ndarray:
     Uses the largest-remainder method on top of a guaranteed one-unit
     floor per job, which is Eq. 5's lower bound.
     """
-    n = len(weights)
+    weights = np.asarray(weights, dtype=float)
+    return _round_columns_batch(weights[None, :], total)[0]
+
+
+def _round_columns_batch(weights: np.ndarray, total: int) -> np.ndarray:
+    """Vectorized :func:`_round_column` over a batch of weight rows.
+
+    Args:
+        weights: Non-negative weights, shape (batch, n_jobs).
+        total: Units each output row must sum to.
+
+    Returns:
+        Integer array of shape (batch, n_jobs), every entry >= 1 and
+        every row summing to ``total``, with exactly the same rounding
+        (largest remainder, ties broken by job index) as the scalar
+        version.
+    """
+    w = np.clip(np.asarray(weights, dtype=float), 0.0, None)
+    if w.ndim != 2:
+        raise ValueError("batch weights must be 2-D (batch, n_jobs)")
+    n = w.shape[1]
     if total < n:
         raise ValueError(f"cannot give {n} jobs >=1 unit out of {total}")
     spare = total - n
-    w = np.clip(np.asarray(weights, dtype=float), 0.0, None)
-    if w.sum() <= 0:
-        w = np.ones(n)
-    shares = w / w.sum() * spare
+    sums = w.sum(axis=1)
+    degenerate = sums <= 0
+    if degenerate.any():
+        w[degenerate] = 1.0
+        sums = np.where(degenerate, float(n), sums)
+    shares = w / sums[:, None] * spare
     base = np.floor(shares).astype(int)
-    remainder = spare - int(base.sum())
-    if remainder:
-        # Highest fractional parts get the leftover units; ties broken by
-        # job index for determinism.
-        order = np.argsort(-(shares - base), kind="stable")
-        base[order[:remainder]] += 1
+    remainder = spare - base.sum(axis=1)
+    # Highest fractional parts get the leftover units; ties broken by
+    # job index for determinism (stable sort on the negated fractions).
+    order = np.argsort(-(shares - base), axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    np.put_along_axis(
+        ranks, order, np.broadcast_to(np.arange(n), order.shape), axis=1
+    )
+    base += ranks < remainder[:, None]
     return base + 1
 
 
@@ -234,6 +259,68 @@ class ConfigurationSpace:
             matrix[:, r] = np.diff(bounds)
         return Configuration.from_matrix(matrix)
 
+    def random_batch(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` uniform random configurations as one integer array.
+
+        Returns a ``(n, n_jobs, n_resources)`` array; each slice is a
+        valid partition (columns sum to the resource capacity, every
+        entry >= 1).  The sampler is the same stars-and-bars construction
+        as :meth:`random` — each resource column is a uniformly random
+        composition, here drawn as the ``n_jobs - 1`` smallest of
+        ``units - 1`` iid uniforms (a uniform random cut subset) — so
+        the two are distributionally identical, but the batch form
+        consumes the generator stream differently and is one vectorized
+        numpy pass instead of ``n`` Python-level round trips.
+        """
+        if n < 0:
+            raise ValueError(f"batch size must be >= 0, got {n}")
+        out = np.empty((n, self.n_jobs, self.n_resources), dtype=int)
+        if n == 0:
+            return out
+        for r, units in enumerate(self._units):
+            units = int(units)
+            if self.n_jobs == 1:
+                out[:, 0, r] = units
+                continue
+            u = rng.random((n, units - 1))
+            # Indices of the (n_jobs - 1) smallest uniforms form a
+            # uniform random (n_jobs - 1)-subset of the cut positions.
+            cuts = np.argpartition(u, self.n_jobs - 2, axis=1)[
+                :, : self.n_jobs - 1
+            ]
+            cuts.sort(axis=1)
+            bounds = np.concatenate(
+                [
+                    np.zeros((n, 1), dtype=int),
+                    cuts + 1,
+                    np.full((n, 1), units, dtype=int),
+                ],
+                axis=1,
+            )
+            out[:, :, r] = np.diff(bounds, axis=1)
+        return out
+
+    def neighbor_matrices(self, config: Configuration) -> np.ndarray:
+        """All single-unit-transfer neighbors as one integer array.
+
+        Returns a ``(k, n_jobs, n_resources)`` array in the same order
+        :meth:`neighbors` yields them.
+        """
+        base = config.as_array()
+        moves = [
+            (r, donor, receiver)
+            for r in range(self.n_resources)
+            for donor in range(self.n_jobs)
+            if base[donor, r] > 1
+            for receiver in range(self.n_jobs)
+            if receiver != donor
+        ]
+        mats = np.repeat(base[None, :, :], len(moves), axis=0)
+        for i, (r, donor, receiver) in enumerate(moves):
+            mats[i, donor, r] -= 1
+            mats[i, receiver, r] += 1
+        return mats
+
     def enumerate(self, stride: int = 1) -> Iterable[Configuration]:
         """Yield every configuration (optionally on a coarser lattice).
 
@@ -304,6 +391,30 @@ class ConfigurationSpace:
         scaled[:, nonzero] = (arr[:, nonzero] - 1.0) / spans[nonzero]
         return scaled.reshape(-1)
 
+    def to_unit_cube_batch(self, matrices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`to_unit_cube` over a stack of allocations.
+
+        Args:
+            matrices: Integer allocations, shape
+                ``(n, n_jobs, n_resources)`` (as produced by
+                :meth:`random_batch` / :meth:`neighbor_matrices`).
+
+        Returns:
+            ``(n, n_dims)`` float array of unit-cube encodings, row ``i``
+            identical to ``to_unit_cube`` of configuration ``i``.
+        """
+        arr = np.asarray(matrices, dtype=float)
+        if arr.ndim != 3 or arr.shape[1:] != (self.n_jobs, self.n_resources):
+            raise ValueError(
+                f"expected (n, {self.n_jobs}, {self.n_resources}) matrices, "
+                f"got {arr.shape}"
+            )
+        spans = (self._units - self.n_jobs).astype(float)
+        scaled = np.zeros_like(arr)
+        nonzero = spans > 0
+        scaled[:, :, nonzero] = (arr[:, :, nonzero] - 1.0) / spans[nonzero]
+        return scaled.reshape(len(arr), -1)
+
     def from_unit_cube(self, x: Sequence[float]) -> Configuration:
         """Project a unit-cube vector back onto the feasible lattice.
 
@@ -317,6 +428,32 @@ class ConfigurationSpace:
         for r, units in enumerate(self._units):
             matrix[:, r] = _round_column(np.clip(vec[:, r], 0.0, 1.0), int(units))
         return Configuration.from_matrix(matrix)
+
+    def from_unit_cube_batch(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`from_unit_cube` over a batch of cube vectors.
+
+        Args:
+            x: Cube vectors, shape ``(n, n_dims)``.
+
+        Returns:
+            ``(n, n_jobs, n_resources)`` integer allocations, row ``i``
+            identical to ``from_unit_cube`` of vector ``i`` (same
+            largest-remainder rounding and tie-breaking).
+        """
+        vec = np.asarray(x, dtype=float)
+        if vec.ndim != 2 or vec.shape[1] != self.n_dims:
+            raise ValueError(
+                f"expected (n, {self.n_dims}) cube vectors, got {vec.shape}"
+            )
+        vec = np.clip(
+            vec.reshape(len(vec), self.n_jobs, self.n_resources), 0.0, 1.0
+        )
+        out = np.empty(
+            (len(vec), self.n_jobs, self.n_resources), dtype=int
+        )
+        for r, units in enumerate(self._units):
+            out[:, :, r] = _round_columns_batch(vec[:, :, r], int(units))
+        return out
 
     def bounds(self) -> np.ndarray:
         """``(n_dims, 2)`` box bounds of the unit cube (always [0, 1])."""

@@ -145,12 +145,17 @@ class Node:
         window_s: Observation window (paper default: 2 s).
     """
 
+    #: Observation-cache entries kept before new points stop being cached
+    #: (one engine run touches at most a few hundred lattice points).
+    CACHE_MAX_ENTRIES = 4096
+
     def __init__(
         self,
         spec: ServerSpec,
         jobs: Sequence[Job],
         counters: Optional[PerformanceCounters] = None,
         window_s: float = DEFAULT_OBSERVATION_PERIOD_S,
+        cache_enabled: bool = True,
     ) -> None:
         if not jobs:
             raise ValueError("a node needs at least one job")
@@ -165,8 +170,14 @@ class Node:
         self.counters = counters if counters is not None else PerformanceCounters()
         self.window_s = window_s
         self.isolation = IsolationManager(spec)
+        self.cache_enabled = cache_enabled
         self._clock_s = 0.0
         self._history: List[Observation] = []
+        # The simulator is deterministic given a partition and the LC
+        # loads, so noise-free truths are memoized per lattice point.
+        self._obs_cache: Dict[tuple, Observation] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -283,6 +294,41 @@ class Node:
     # ------------------------------------------------------------------
     # The controller-facing interface
     # ------------------------------------------------------------------
+    def cache_info(self) -> Tuple[int, int]:
+        """Observation-cache ``(hits, misses)`` since construction/reset."""
+        return self._cache_hits, self._cache_misses
+
+    def _cache_key(self, config: Configuration) -> tuple:
+        """What the truth of one window depends on: partition + LC loads."""
+        loads = tuple(
+            job.load.load_at(self._clock_s) for job in self.jobs if job.is_lc
+        )
+        return (config.flat(), loads)
+
+    def _cached_truth(self, config: Configuration) -> Observation:
+        """The noise-free truth of ``config`` now, memoized.
+
+        The simulator is deterministic given the partition and the LC
+        load fractions, so re-observing a lattice point the search has
+        already visited (repair retries, refinement rejections,
+        confirmation windows) skips the physics entirely.  Only the
+        truth is cached — counter noise is drawn fresh for every window,
+        so noisy-counter runs see exactly the same readings they would
+        without the cache.
+        """
+        if not self.cache_enabled:
+            return self.true_performance(config, at_time=self._clock_s)
+        key = self._cache_key(config)
+        truth = self._obs_cache.get(key)
+        if truth is not None:
+            self._cache_hits += 1
+            return truth
+        self._cache_misses += 1
+        truth = self.true_performance(config, at_time=self._clock_s)
+        if len(self._obs_cache) < self.CACHE_MAX_ENTRIES:
+            self._obs_cache[key] = truth
+        return truth
+
     def observe(self, config: Configuration) -> Observation:
         """Enact ``config``, run one observation window, read the counters.
 
@@ -290,7 +336,7 @@ class Node:
         the (noisy) observation to the node's history.
         """
         self.isolation.apply(config)
-        truth = self.true_performance(config, at_time=self._clock_s)
+        truth = self._cached_truth(config)
         noisy_jobs = []
         for reading in truth.jobs:
             if reading.role == LC_ROLE:
@@ -326,10 +372,17 @@ class Node:
         self._clock_s += seconds
 
     def reset(self, seed: Optional[int] = None) -> None:
-        """Fresh clock, history, isolation state, and (optionally) noise."""
+        """Fresh clock, history, isolation state, and (optionally) noise.
+
+        The observation cache's truths stay valid across resets (they do
+        not depend on the noise seed), so the cache is kept; only its
+        hit/miss counters start over.
+        """
         self._clock_s = 0.0
         self._history.clear()
         self.isolation.reset()
+        self._cache_hits = 0
+        self._cache_misses = 0
         if seed is not None:
             self.counters.reseed(seed)
 

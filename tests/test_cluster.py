@@ -10,6 +10,7 @@ from repro.cluster import (
     JobRequest,
     utilization_summary,
     verify_node,
+    verify_nodes,
 )
 from repro.cluster.state import ClusterNode
 from repro.core import CLITEConfig
@@ -120,6 +121,56 @@ class TestVerifyNode:
         qos, bg = verify_node(state, FAST_ENGINE, seed=0)
         assert qos
         assert bg is None
+
+
+class TestVerifyNodes:
+    def _states(self, mini_server, n=3):
+        states = []
+        for i in range(n):
+            states.append(
+                ClusterNode(i, mini_server)
+                .with_request(lc_request(f"svc-{i}", 0.3))
+                .with_request(bg_request(f"batch-{i}"))
+            )
+        return states
+
+    def test_parallel_matches_serial(self, mini_server):
+        """Each node's engine run is deterministic given the seed, so the
+        thread-pool fan-out must reproduce the serial reports exactly."""
+        states = self._states(mini_server)
+        serial = verify_nodes(states, FAST_ENGINE, seed=0, max_workers=1)
+        parallel = verify_nodes(states, FAST_ENGINE, seed=0, max_workers=3)
+        assert serial == parallel
+        assert set(serial) == {0, 1, 2}
+        for state in states:
+            assert serial[state.index] == verify_node(state, FAST_ENGINE, 0)
+
+    def test_empty_and_single(self, mini_server):
+        assert verify_nodes([], FAST_ENGINE, seed=0) == {}
+        (state,) = self._states(mini_server, n=1)
+        reports = verify_nodes([state], FAST_ENGINE, seed=0)
+        assert reports == {0: verify_node(state, FAST_ENGINE, 0)}
+
+    def test_policy_verify_workers_same_outcome(self, mini_server):
+        requests = [
+            lc_request("svc-1", 0.3),
+            bg_request("batch-1"),
+            lc_request("svc-2", 0.3),
+            bg_request("batch-2"),
+        ]
+        outcomes = []
+        for workers in (1, 4):
+            cluster = Cluster(n_nodes=4, spec=mini_server)
+            policy = DedicatedPlacement(verify_workers=workers)
+            # Dedicated placement with FAST settings is still slow-ish;
+            # swap in the fast engine by verifying manually instead.
+            policy.verify = False
+            out = policy.place(cluster, requests, seed=0)
+            reports = verify_nodes(
+                cluster.used_nodes(), FAST_ENGINE, 0, workers
+            )
+            outcomes.append((out.placements, reports))
+        assert outcomes[0] == outcomes[1]
 
 
 class TestPolicies:

@@ -1,0 +1,154 @@
+"""Incremental GP conditioning must agree with batch refits.
+
+The rank-1 Cholesky extension in :meth:`GaussianProcess.add_sample` is a
+pure optimization: whenever a from-scratch ``fit`` on the same data
+would pick the same lengthscale and jitter, the two posteriors must be
+numerically indistinguishable (1e-8 here, far tighter than anything the
+engine's scores resolve).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GaussianProcess, Matern52
+
+ATOL = 1e-8
+
+
+def _query_grid(d: int, n: int = 40) -> np.ndarray:
+    return np.random.default_rng(12345).random((n, d))
+
+
+def _assert_same_posterior(incremental, batch, xq):
+    # 1e-8 both absolutely and relatively: ill-conditioned cases can
+    # inflate posterior means far beyond the targets' scale, where only
+    # the relative term is meaningful.
+    mean_inc, std_inc = incremental.predict(xq)
+    mean_bat, std_bat = batch.predict(xq)
+    np.testing.assert_allclose(mean_inc, mean_bat, atol=ATOL, rtol=ATOL)
+    np.testing.assert_allclose(std_inc, std_bat, atol=ATOL, rtol=ATOL)
+
+
+def _grow_incrementally(gp, x, y, warm=3):
+    gp.fit(x[:warm], y[:warm])
+    for i in range(warm, len(x)):
+        gp.add_sample(x[i], y[i])
+    return gp
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(5, 30),
+    d=st.integers(1, 6),
+    noise=st.sampled_from([1e-6, 1e-3, 0.1]),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_matches_batch_fixed_kernel(seed, n, d, noise):
+    """With the kernel frozen, add_sample ≡ fit for any sample stream.
+
+    Noise is kept positive: at exactly zero jitter the Gram matrix of a
+    dense 1-D cloud is ill-conditioned enough that *any* two solve
+    orders disagree beyond 1e-8 — the zero-noise regime is exercised by
+    the jitter-escalation tests below instead.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, d))
+    y = rng.normal(size=n)
+    kwargs = dict(
+        kernel=Matern52(lengthscale=0.5), noise=noise, adapt_lengthscale=False
+    )
+    incremental = _grow_incrementally(GaussianProcess(**kwargs), x, y)
+    batch = GaussianProcess(**kwargs).fit(x, y)
+    assert incremental.jitter == batch.jitter
+    _assert_same_posterior(incremental, batch, _query_grid(d))
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(5, 25))
+@settings(max_examples=25, deadline=None)
+def test_incremental_matches_batch_adaptive_rtol_zero(seed, n):
+    """lengthscale_rtol=0 forces a refit on every add: exact parity with
+    the pre-incremental behavior, adaptive lengthscale included."""
+    rng = np.random.default_rng(seed)
+    d = 3
+    x = rng.random((n, d))
+    y = rng.normal(size=n)
+    incremental = _grow_incrementally(
+        GaussianProcess(lengthscale_rtol=0.0), x, y
+    )
+    batch = GaussianProcess().fit(x, y)
+    assert incremental.kernel.lengthscale == batch.kernel.lengthscale
+    _assert_same_posterior(incremental, batch, _query_grid(d))
+
+
+def test_incremental_matches_batch_after_jitter_escalation():
+    """Duplicated points at zero noise force the jitter-escalation path;
+    incremental and batch must land on the same jitter and posterior."""
+    rng = np.random.default_rng(7)
+    d = 2
+    base = rng.random((6, d))
+    x = np.vstack([base, base])  # exact duplicates: singular Gram at jitter 0
+    y = np.concatenate([rng.normal(size=6), rng.normal(size=6)])
+    kwargs = dict(
+        kernel=Matern52(lengthscale=0.5), noise=0.0, adapt_lengthscale=False
+    )
+    incremental = _grow_incrementally(GaussianProcess(**kwargs), x, y)
+    batch = GaussianProcess(**kwargs).fit(x, y)
+    assert incremental.jitter > 0.0
+    assert incremental.jitter == batch.jitter
+    _assert_same_posterior(incremental, batch, _query_grid(d))
+
+
+def test_duplicate_add_falls_back_to_refactor():
+    """Adding an exact duplicate with zero noise hits the tiny-pivot
+    fallback and still produces a finite, batch-identical posterior."""
+    rng = np.random.default_rng(11)
+    x = rng.random((5, 3))
+    y = rng.normal(size=5)
+    kwargs = dict(
+        kernel=Matern52(lengthscale=0.5), noise=0.0, adapt_lengthscale=False
+    )
+    gp = GaussianProcess(**kwargs).fit(x, y)
+    gp.add_sample(x[2], y[2] + 0.01)
+    batch = GaussianProcess(**kwargs).fit(
+        np.vstack([x, x[2]]), np.append(y, y[2] + 0.01)
+    )
+    assert np.isfinite(gp.predict(_query_grid(3))[0]).all()
+    _assert_same_posterior(gp, batch, _query_grid(3))
+
+
+def test_add_sample_on_unfitted_gp_fits():
+    gp = GaussianProcess()
+    gp.add_sample(np.array([0.3, 0.7]), 1.5)
+    assert gp.is_fitted
+    assert gp.n_samples == 1
+    mean, _ = gp.predict(np.array([[0.3, 0.7]]))
+    assert mean[0] == pytest.approx(1.5, abs=0.05)
+
+
+def test_add_sample_counts_and_validation():
+    gp = GaussianProcess().fit(np.random.default_rng(0).random((4, 2)), np.arange(4.0))
+    gp.add_sample(np.array([0.5, 0.5]), 2.0)
+    assert gp.n_samples == 5
+    with pytest.raises(ValueError, match="finite"):
+        gp.add_sample(np.array([np.nan, 0.5]), 1.0)
+    with pytest.raises(ValueError, match="dim"):
+        gp.add_sample(np.array([0.1, 0.2, 0.3]), 1.0)
+
+
+def test_lengthscale_drift_triggers_full_refit():
+    """A point far outside the old cloud shifts the median-distance
+    heuristic; add_sample must refit rather than keep the stale kernel."""
+    rng = np.random.default_rng(3)
+    x = 0.01 * rng.random((8, 2))  # tight cluster: tiny lengthscale
+    y = rng.normal(size=8)
+    gp = GaussianProcess().fit(x, y)
+    before = gp.kernel.lengthscale
+    gp.add_sample(np.array([50.0, 50.0]), 0.0)
+    assert gp.kernel.lengthscale != before
+    batch = GaussianProcess().fit(
+        np.vstack([x, [[50.0, 50.0]]]), np.append(y, 0.0)
+    )
+    assert gp.kernel.lengthscale == batch.kernel.lengthscale
+    _assert_same_posterior(gp, batch, _query_grid(2))

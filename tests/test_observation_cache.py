@@ -1,0 +1,139 @@
+"""The node's observation cache: correctness and counter semantics.
+
+Only the noise-free *truth* of a (partition, LC loads) point is cached;
+counter noise is drawn fresh for every window.  So readings — noisy or
+not — must be bit-identical with and without the cache, and the
+hit/miss counters must reflect exactly which lattice points were
+revisited.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CLITEConfig, CLITEEngine
+from repro.server import Job, Node, NodeBudget, PerformanceCounters
+
+from conftest import make_bg, make_lc, make_node
+
+
+def _twin_nodes(mini_server, noise):
+    """Two identical nodes, one with the cache disabled."""
+    return (
+        make_node(mini_server, lc_loads=(0.4,), n_bg=1, noise=noise),
+        Node(
+            mini_server,
+            [Job.lc(make_lc(name="lc0"), 0.4), Job.bg(make_bg(name="bg0"))],
+            counters=PerformanceCounters(relative_std=noise, seed=0),
+            cache_enabled=False,
+        ),
+    )
+
+
+def test_repeat_observation_hits_cache(quiet_node):
+    config = quiet_node.space.equal_partition()
+    quiet_node.observe(config)
+    assert quiet_node.cache_info() == (0, 1)
+    quiet_node.observe(config)
+    quiet_node.observe(config)
+    assert quiet_node.cache_info() == (2, 1)
+    other = quiet_node.space.max_allocation(0)
+    quiet_node.observe(other)
+    assert quiet_node.cache_info() == (2, 2)
+
+
+def test_cached_readings_identical_noise_free(mini_server):
+    cached, uncached = _twin_nodes(mini_server, noise=0.0)
+    config = cached.space.equal_partition()
+    for node in (cached, uncached):
+        node.observe(config)
+        node.observe(config)
+    assert uncached.cache_info() == (0, 0)
+    for a, b in zip(cached.history, uncached.history):
+        for ja, jb in zip(a.jobs, b.jobs):
+            assert ja == jb
+
+
+def test_noise_drawn_fresh_despite_cache(mini_server):
+    """Cache on or off, noisy runs see the exact same reading stream:
+    the truth is memoized, the noise stream is not."""
+    cached, uncached = _twin_nodes(mini_server, noise=0.05)
+    config = cached.space.equal_partition()
+    readings_cached = [cached.observe(config) for _ in range(4)]
+    readings_uncached = [uncached.observe(config) for _ in range(4)]
+    assert cached.cache_info() == (3, 1)
+    lat_cached = [o.jobs[0].p95_ms for o in readings_cached]
+    lat_uncached = [o.jobs[0].p95_ms for o in readings_uncached]
+    assert lat_cached == lat_uncached
+    # And the windows genuinely differ from each other (noise is live).
+    assert len(set(lat_cached)) > 1
+
+
+def test_lc_load_change_misses_cache(mini_server):
+    """The key includes the LC load fractions, so the same partition at
+    a different load is a different truth — no stale hits."""
+    from repro.workloads import LoadSchedule
+
+    node = Node(
+        mini_server,
+        [
+            Job(make_lc(name="lc0"), LoadSchedule.steps([(0.0, 0.3), (2.0, 0.7)])),
+            Job.bg(make_bg(name="bg0")),
+        ],
+        counters=PerformanceCounters(relative_std=0.0, seed=0),
+    )
+    config = node.space.equal_partition()
+    first = node.observe(config)  # t=0, load 0.3
+    second = node.observe(config)  # t=2, load 0.7
+    assert node.cache_info() == (0, 2)
+    assert first.jobs[0].p95_ms != second.jobs[0].p95_ms
+
+
+def test_reset_clears_counters_keeps_truths(quiet_node):
+    config = quiet_node.space.equal_partition()
+    quiet_node.observe(config)
+    quiet_node.observe(config)
+    quiet_node.reset()
+    assert quiet_node.cache_info() == (0, 0)
+    quiet_node.observe(config)
+    # The truth survived the reset: first post-reset observe is a hit.
+    assert quiet_node.cache_info() == (1, 0)
+
+
+def test_cache_size_cap(mini_server):
+    node = make_node(mini_server, lc_loads=(0.4,), n_bg=1)
+    node.CACHE_MAX_ENTRIES = 2
+    rng = np.random.default_rng(0)
+    seen = set()
+    while len(seen) < 4:
+        config = node.space.random(rng)
+        seen.add(config.flat())
+        node.observe(config)
+    assert len(node._obs_cache) <= 2
+
+
+def test_engine_result_reports_cache_counters(quiet_node):
+    result = CLITEEngine(
+        quiet_node, CLITEConfig(seed=0, max_iterations=20)
+    ).optimize()
+    hits, misses = quiet_node.cache_info()
+    assert result.cache_hits == hits
+    assert result.cache_misses == misses
+    assert result.cache_misses > 0
+    # The engine's confirmation re-observations guarantee revisits.
+    assert result.cache_hits > 0
+
+
+def test_engine_counters_are_per_run_deltas(quiet_node):
+    first = CLITEEngine(
+        quiet_node, CLITEConfig(seed=0, max_iterations=15)
+    ).optimize()
+    counters_after_first = quiet_node.cache_info()
+    assert (first.cache_hits, first.cache_misses) == counters_after_first
+    # Without a reset the node's counters keep accumulating; the second
+    # result must report only its own run's delta.
+    second = CLITEEngine(
+        quiet_node, CLITEConfig(seed=1, max_iterations=15)
+    ).optimize()
+    hits, misses = quiet_node.cache_info()
+    assert second.cache_hits == hits - counters_after_first[0]
+    assert second.cache_misses == misses - counters_after_first[1]
