@@ -1,0 +1,294 @@
+"""Static call-graph construction and thread-pool reachability.
+
+The thread-safety family needs to know which functions can execute on a
+worker thread: everything transitively callable from a function handed
+to ``Executor.submit``/``Executor.map``.  This pass builds a syntactic
+call graph with a small, deliberately conservative type inferencer —
+parameter annotations, ``x = Ctor(...)`` locals, and annotated return
+types — which is enough to follow chains like
+``node_state.build_node(...)`` → ``CLITEEngine(node, cfg).optimize()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .project import FunctionInfo, ModuleInfo, Project
+
+#: Executor methods whose first argument runs on a pool thread.
+_POOL_DISPATCH = {"submit", "map", "apply_async", "starmap"}
+
+
+def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    """Simple class name of an annotation, unwrapping Optional/quotes."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: take the rightmost identifier.
+        text = annotation.value.strip().strip('"')
+        return text.split("[")[0].split(".")[-1] or None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        # Optional[T] / List[T]: look inside one level for a lone class.
+        base = _annotation_class(annotation.value)
+        if base in {"Optional"} and isinstance(
+            annotation.slice, (ast.Name, ast.Attribute, ast.Constant)
+        ):
+            return _annotation_class(annotation.slice)
+        return base
+    return None
+
+
+@dataclass
+class CallGraph:
+    """Edges between function keys plus discovered pool entry points."""
+
+    project: Project
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    pool_entrypoints: Set[str] = field(default_factory=set)
+    #: function key -> parameter name -> simple class name
+    param_types: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def reachable_from(
+        self, entry_keys: Set[str]
+    ) -> Dict[str, Tuple[str, ...]]:
+        """BFS closure: function key -> call path from an entry point."""
+        paths: Dict[str, Tuple[str, ...]] = {}
+        queue: List[str] = []
+        for key in sorted(entry_keys):
+            if key in self.project.functions:
+                paths[key] = (key,)
+                queue.append(key)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in paths:
+                    paths[callee] = paths[current] + (callee,)
+                    queue.append(callee)
+        return paths
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collects call edges and local types inside one function body."""
+
+    def __init__(
+        self, graph: CallGraph, fn: FunctionInfo, module: ModuleInfo
+    ) -> None:
+        self.graph = graph
+        self.project = graph.project
+        self.fn = fn
+        self.module = module
+        self.local_types: Dict[str, str] = dict(
+            graph.param_types.get(fn.key, {})
+        )
+        self.callees: Set[str] = set()
+
+    # -- type bookkeeping ------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        inferred = self._call_result_type(node.value)
+        if inferred is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.local_types[target.id] = inferred
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        cls = _annotation_class(node.annotation)
+        if isinstance(node.target, ast.Name) and cls is not None:
+            self.local_types[node.target.id] = cls
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs get their own scan via the class/module walk; their
+        # bodies still execute on the same thread when called, so edges
+        # from the enclosing function to locals are approximated by
+        # treating the nested body as inline.
+        for child in node.body:
+            self.visit(child)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- call edges ------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._record_pool_dispatch(node)
+        for key in self._resolve_call_targets(node):
+            self.callees.add(key)
+        self.generic_visit(node)
+
+    def _record_pool_dispatch(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in _POOL_DISPATCH
+        ):
+            return
+        if not node.args:
+            return
+        target = node.args[0]
+        resolved = self._resolve_callable_ref(target)
+        if resolved is not None:
+            self.graph.pool_entrypoints.add(resolved)
+
+    def _resolve_callable_ref(self, node: ast.AST) -> Optional[str]:
+        """A bare function reference (not a call) to a project function."""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = self.module.resolve(node)
+            if dotted is not None:
+                found = self._function_for_dotted(dotted)
+                if found is not None:
+                    return found
+            if isinstance(node, ast.Attribute):
+                keys = self._resolve_attribute_call(node, record_type=False)
+                return keys[0] if keys else None
+        return None
+
+    def _function_for_dotted(self, dotted: str) -> Optional[str]:
+        """Map ``pkg.mod.fn`` / ``pkg.mod.Cls.meth`` to a function key."""
+        for module_name, module in self.project.modules.items():
+            if dotted == module_name or not dotted.startswith(module_name + "."):
+                continue
+            remainder = dotted[len(module_name) + 1 :]
+            parts = remainder.split(".")
+            if len(parts) == 1:
+                if parts[0] in module.functions:
+                    return module.functions[parts[0]].key
+                if parts[0] in module.classes:
+                    return self._class_ctor_key(parts[0])
+            elif len(parts) == 2 and parts[0] in module.classes:
+                method = self.project.lookup_method(parts[0], parts[1])
+                if method is not None:
+                    return method.key
+        # Same-module shortcut: a bare name with no import alias.
+        if "." not in dotted:
+            if dotted in self.module.functions:
+                return self.module.functions[dotted].key
+            if dotted in self.module.classes:
+                return self._class_ctor_key(dotted)
+        return None
+
+    def _class_ctor_key(self, class_name: str) -> Optional[str]:
+        for method in ("__init__", "__post_init__"):
+            found = self.project.lookup_method(class_name, method)
+            if found is not None:
+                return found.key
+        # A class with no explicit constructor still types its result.
+        return None
+
+    def _class_ctor_keys(self, class_name: str) -> List[str]:
+        keys = []
+        for method in ("__init__", "__post_init__"):
+            found = self.project.lookup_method(class_name, method)
+            if found is not None:
+                keys.append(found.key)
+        return keys
+
+    def _call_result_type(self, node: ast.AST) -> Optional[str]:
+        """Class name a call expression evaluates to, when knowable."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, (ast.Name, ast.Attribute)):
+            dotted = self.module.resolve(func)
+            if dotted is not None:
+                simple = dotted.split(".")[-1]
+                if simple in self.project.classes_by_name:
+                    return simple
+                fn_key = self._function_for_dotted(dotted)
+                if fn_key is not None:
+                    target = self.project.functions[fn_key]
+                    return _annotation_class(target.node.returns)
+        if isinstance(func, ast.Attribute):
+            owner = self._value_type(func.value)
+            if owner is not None:
+                method = self.project.lookup_method(owner, func.attr)
+                if method is not None:
+                    return _annotation_class(method.node.returns)
+        return None
+
+    def _value_type(self, node: ast.AST) -> Optional[str]:
+        """Type of an attribute-call receiver, when inferable."""
+        if isinstance(node, ast.Name):
+            return self.local_types.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._call_result_type(node)
+        return None
+
+    def _resolve_call_targets(self, node: ast.Call) -> List[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            dotted = self.module.resolve(func)
+            if dotted is None:
+                return []
+            simple = dotted.split(".")[-1]
+            if (
+                simple in self.project.classes_by_name
+                and self._is_project_class_ref(dotted, simple)
+            ):
+                return self._class_ctor_keys(simple)
+            key = self._function_for_dotted(dotted)
+            return [key] if key is not None else []
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute_call(func)
+        return []
+
+    def _is_project_class_ref(self, dotted: str, simple: str) -> bool:
+        """Whether a dotted name plausibly refers to a project class."""
+        if "." not in dotted:
+            return simple in self.module.classes or dotted in self.module.imports
+        return any(
+            dotted == f"{cls.module}.{cls.name}"
+            for cls in self.project.classes_by_name.get(simple, ())
+        )
+
+    def _resolve_attribute_call(
+        self, func: ast.Attribute, record_type: bool = True
+    ) -> List[str]:
+        # self.method() / var.method() with an inferred receiver type.
+        receiver = self._value_type(func.value)
+        if receiver is None and isinstance(func.value, ast.Name):
+            if func.value.id == "self" and self.fn.class_name is not None:
+                receiver = self.fn.class_name
+        if receiver is not None:
+            method = self.project.lookup_method(receiver, func.attr)
+            if method is not None:
+                return [method.key]
+            return []
+        # module.function() via an import alias.
+        dotted = self.module.resolve(func)
+        if dotted is not None:
+            key = self._function_for_dotted(dotted)
+            if key is not None:
+                return [key]
+        return []
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Construct the project call graph in two passes.
+
+    Pass 1 records parameter types for every function (so scans can
+    type ``self`` and annotated parameters); pass 2 walks every body
+    collecting edges and ``Executor.submit`` targets.
+    """
+    graph = CallGraph(project=project)
+    for fn in project.iter_functions():
+        params: Dict[str, str] = {}
+        args = fn.node.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        for arg in all_args:
+            cls = _annotation_class(arg.annotation)
+            if cls is not None:
+                params[arg.arg] = cls
+        if all_args and all_args[0].arg == "self" and fn.class_name:
+            params["self"] = fn.class_name
+        graph.param_types[fn.key] = params
+    for fn in project.iter_functions():
+        module = project.modules[fn.module]
+        scanner = _FunctionScanner(graph, fn, module)
+        for statement in fn.node.body:
+            scanner.visit(statement)
+        graph.edges[fn.key] = scanner.callees
+    return graph

@@ -1,0 +1,129 @@
+"""``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint src/repro                 # human-readable text
+    repro-lint src/repro --format json   # CI reporter
+    repro-lint --list-rules              # the rule catalog
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import load_config
+from .engine import LintEngine
+from .model import all_rules
+from .reporter import render_json, render_rule_catalog, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the CLITE reproduction: "
+            "determinism, thread-safety, partition contracts, numerics."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Files or directories to lint (default: src/repro if present).",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="Report format (json is the CI reporter).",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="Comma-separated rule IDs to run exclusively.",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="Comma-separated rule IDs to skip.",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="Print the rule catalog and exit.",
+    )
+    return parser
+
+
+def _split_rules(raw: str) -> tuple:
+    return tuple(token.strip() for token in raw.split(",") if token.strip())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            parser.print_usage(sys.stderr)
+            print(
+                "repro-lint: no paths given and ./src/repro not found",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default)]
+
+    try:
+        config = load_config(Path(paths[0]))
+    except ValueError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore)
+    if select or ignore:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            select=select or config.select,
+            ignore=tuple(set(config.ignore) | set(ignore)),
+        )
+
+    known = set(all_rules())
+    unknown = [r for r in (*select, *ignore) if r not in known]
+    if unknown:
+        print(
+            f"repro-lint: unknown rule id(s): {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    engine = LintEngine(config)
+    try:
+        project = engine.build_project(paths)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    findings = engine.run(project)
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Finding reporters: human text and machine JSON (for CI)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from .model import Finding, catalog
+
+#: Schema version of the JSON report; bump on breaking shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: List[Finding]) -> str:
+    """One line per finding plus a per-rule summary."""
+    if not findings:
+        return "repro-lint: clean (0 findings)"
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} {finding.message}"
+        )
+        lines.append(f"    hint: {finding.hint}")
+    counts = Counter(f.rule_id for f in findings)
+    summary = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+    lines.append("")
+    lines.append(
+        f"repro-lint: {len(findings)} finding(s) ({summary})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """CI-facing JSON: stable keys, counts, and the rule catalog IDs."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "finding_count": len(findings),
+        "counts_by_rule": dict(
+            sorted(Counter(f.rule_id for f in findings).items())
+        ),
+        "findings": [
+            {
+                "rule_id": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` table."""
+    lines = ["repro-lint rule catalog:", ""]
+    current_family = None
+    for entry in catalog():
+        if entry.family != current_family:
+            current_family = entry.family
+            lines.append(f"[{entry.family}]")
+        lines.append(f"  {entry.rule_id}  {entry.name}")
+        lines.append(f"      {entry.description}")
+        lines.append(f"      fix: {entry.autofix_hint}")
+    return "\n".join(lines)

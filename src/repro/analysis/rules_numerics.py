@@ -1,0 +1,141 @@
+"""Numerics-hygiene rules (RPL4xx), scoped to the BO hot path.
+
+The GP/acquisition stack is where float semantics bite: exact equality
+on floats silently flips on the last ulp, and a stray float32 cast
+poisons the Cholesky updates with precision the incremental-vs-batch
+equivalence tests cannot tell apart from real bugs.  Both are only
+checked inside the configured ``hot_path`` modules — elsewhere they are
+style questions, here they are correctness ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .config import LintConfig
+from .model import NUMERICS, Finding, Rule, register
+from .project import ModuleInfo, Project
+
+#: dtype names whose use in the hot path silently narrows precision.
+_NARROW_DTYPES = {"float32", "float16", "half", "int32", "int16", "int8"}
+
+
+def _in_hot_path(module: ModuleInfo, config: LintConfig) -> bool:
+    posix = module.path.as_posix()
+    return any(fragment in posix for fragment in config.hot_path)
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    rule_id = "RPL401"
+    name = "float-equality"
+    family = NUMERICS
+    description = (
+        "Bare ==/!= against a float literal in the BO hot path: "
+        "acquisition values and GP posteriors differ in the last ulp "
+        "between algebraically equivalent code paths, so exact equality "
+        "is order-dependent."
+    )
+    autofix_hint = (
+        "Compare with an explicit tolerance (math.isclose / np.isclose, "
+        "or a named epsilon constant); for sentinel checks use "
+        "math.isinf/math.isnan."
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        for module in project.modules.values():
+            if not _in_hot_path(module, config):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(
+                    node.ops, operands[:-1], operands[1:]
+                ):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if _is_float_literal(left) or _is_float_literal(right):
+                        yield self.finding(
+                            project,
+                            module.name,
+                            node,
+                            "exact ==/!= against a float literal in the "
+                            "BO hot path",
+                        )
+                        break
+
+
+@register
+class DtypeNarrowing(Rule):
+    rule_id = "RPL402"
+    name = "dtype-narrowing"
+    family = NUMERICS
+    description = (
+        "Silent dtype narrowing (float32/int32/...) in the BO hot path: "
+        "the incremental Cholesky updates assume float64 end to end, "
+        "and a narrowed intermediate degrades them without failing "
+        "loudly."
+    )
+    autofix_hint = (
+        "Keep float64/platform-int in the hot path; if a narrow dtype "
+        "is genuinely required at a boundary, cast there and suppress "
+        "this finding on that line with a justification."
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        for module in project.modules.values():
+            if not _in_hot_path(module, config):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                narrow = self._narrowing_in_call(node)
+                if narrow is not None:
+                    yield self.finding(
+                        project,
+                        module.name,
+                        node,
+                        f"silent narrowing to {narrow} in the BO hot path",
+                    )
+
+    def _narrowing_in_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        # arr.astype(np.float32) / arr.astype("float32")
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            for arg in node.args:
+                name = _dtype_name(arg)
+                if name in _NARROW_DTYPES:
+                    return name
+        # np.float32(x) constructor casts.
+        direct = _dtype_name(func)
+        if direct in _NARROW_DTYPES:
+            return direct
+        # dtype=np.float32 keywords on any constructor.
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                name = _dtype_name(keyword.value)
+                if name in _NARROW_DTYPES:
+                    return name
+        return None
+
+
+def _dtype_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

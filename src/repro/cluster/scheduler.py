@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.engine import CLITEConfig, CLITEEngine
+from ..resources.contracts import placement_contract
 from ..server.node import NodeBudget
 from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
 
@@ -136,7 +137,13 @@ class DedicatedPlacement(PlacementPolicy):
 
     name = "dedicated"
 
-    def place(self, cluster, requests, seed=0) -> PlacementOutcome:
+    @placement_contract
+    def place(
+        self,
+        cluster: Cluster,
+        requests: Sequence[JobRequest],
+        seed: Optional[int] = 0,
+    ) -> PlacementOutcome:
         rejected: List[str] = []
         for request in requests:
             empty = [n for n in cluster.nodes if n.n_jobs == 0]
@@ -164,7 +171,13 @@ class FirstFitPlacement(PlacementPolicy):
         if self.max_jobs_per_node < 1:
             raise ValueError("max_jobs_per_node must be >= 1")
 
-    def place(self, cluster, requests, seed=0) -> PlacementOutcome:
+    @placement_contract
+    def place(
+        self,
+        cluster: Cluster,
+        requests: Sequence[JobRequest],
+        seed: Optional[int] = 0,
+    ) -> PlacementOutcome:
         rejected: List[str] = []
         for request in requests:
             target = None
@@ -221,7 +234,13 @@ class CLITEPlacement(PlacementPolicy):
         qos_met, _ = verify_node(tentative, self.engine_config, seed)
         return qos_met
 
-    def place(self, cluster, requests, seed=0) -> PlacementOutcome:
+    @placement_contract
+    def place(
+        self,
+        cluster: Cluster,
+        requests: Sequence[JobRequest],
+        seed: Optional[int] = 0,
+    ) -> PlacementOutcome:
         rejected: List[str] = []
         for request in requests:
             occupied = sorted(

@@ -19,10 +19,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..resources.allocation import Configuration
 from ..server.node import LC_ROLE, Node, Observation
+from .rng import RNGLike, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -58,14 +57,17 @@ class DropoutCopy:
         random_job_prob: Probability of pinning a uniformly random job
             instead of the best performer.
         enabled: Disable to run the no-dropout ablation.
-        rng: Random generator (shared with the engine for determinism).
+        rng: Random generator shared with the engine, or an explicit
+            integer seed.  Required: the probabilistic job pick is the
+            paper's source of residual run-to-run variability (Fig. 11),
+            so it must draw from the engine's seeded stream (RPL101).
     """
 
     def __init__(
         self,
         random_job_prob: float = 0.1,
         enabled: bool = True,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[RNGLike] = None,
     ) -> None:
         if not 0 <= random_job_prob <= 1:
             raise ValueError(
@@ -73,7 +75,7 @@ class DropoutCopy:
             )
         self.random_job_prob = random_job_prob
         self.enabled = enabled
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, owner="DropoutCopy")
         self._best_perf: Dict[str, float] = {}
         self._best_row: Dict[str, Tuple[int, ...]] = {}
 

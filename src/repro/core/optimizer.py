@@ -24,9 +24,11 @@ from ..resources.allocation import (
     ConfigurationSpace,
     _round_columns_batch,
 )
+from ..resources.contracts import proposal_contract
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .dropout import DropoutDecision
 from .gp import GaussianProcess
+from .rng import RNGLike, resolve_rng
 
 #: Infinity-norm of the finite-difference gradient below which a start is
 #: considered dead-flat: SLSQP cannot move from it, so the (expensive)
@@ -84,7 +86,9 @@ class AcquisitionOptimizer:
             its best entries both seed SLSQP restarts and stand as
             candidates themselves, which makes the search robust in the
             high-dimensional spaces where gradient steps stall.
-        rng: Random generator shared with the engine.
+        rng: Random generator shared with the engine, or an explicit
+            integer seed.  Required: an unseeded fallback would make
+            the multi-start screening non-reproducible (RPL101).
     """
 
     def __init__(
@@ -93,7 +97,7 @@ class AcquisitionOptimizer:
         acquisition: Optional[AcquisitionFunction] = None,
         n_restarts: int = 8,
         pool_size: int = 256,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[RNGLike] = None,
     ) -> None:
         if n_restarts < 1:
             raise ValueError("need at least one restart")
@@ -105,7 +109,7 @@ class AcquisitionOptimizer:
         )
         self.n_restarts = n_restarts
         self.pool_size = pool_size
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, owner="AcquisitionOptimizer")
         self._spans = np.array(
             [r.units - space.n_jobs for r in space.spec.resources], dtype=float
         )
@@ -321,6 +325,7 @@ class AcquisitionOptimizer:
     # ------------------------------------------------------------------
     # Pure exploitation: greedy walk on the posterior mean
     # ------------------------------------------------------------------
+    @proposal_contract
     def propose_exploit(
         self,
         gp: GaussianProcess,
@@ -386,6 +391,7 @@ class AcquisitionOptimizer:
             )
         return [self._project_feasible(z, dropout) for z in starts]
 
+    @proposal_contract
     def propose(
         self,
         gp: GaussianProcess,

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
+from .contracts import partition_contract
 from .spec import ServerSpec
 
 
@@ -219,6 +220,7 @@ class ConfigurationSpace:
     # ------------------------------------------------------------------
     # Canonical points (CLITE's bootstrap set, Sec. 4)
     # ------------------------------------------------------------------
+    @partition_contract
     def equal_partition(self) -> Configuration:
         """Divide every resource as equally as possible among the jobs."""
         matrix = np.empty((self.n_jobs, self.n_resources), dtype=int)
@@ -229,6 +231,7 @@ class ConfigurationSpace:
             matrix[:, r] = column
         return Configuration.from_matrix(matrix)
 
+    @partition_contract
     def max_allocation(self, job: int) -> Configuration:
         """Give ``job`` everything except the one-unit floor of the others."""
         if not 0 <= job < self.n_jobs:
@@ -241,6 +244,7 @@ class ConfigurationSpace:
     # ------------------------------------------------------------------
     # Sampling and enumeration
     # ------------------------------------------------------------------
+    @partition_contract
     def random(self, rng: np.random.Generator) -> Configuration:
         """Draw a configuration uniformly at random.
 
@@ -259,6 +263,7 @@ class ConfigurationSpace:
             matrix[:, r] = np.diff(bounds)
         return Configuration.from_matrix(matrix)
 
+    @partition_contract
     def random_batch(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``n`` uniform random configurations as one integer array.
 
@@ -415,6 +420,7 @@ class ConfigurationSpace:
         scaled[:, :, nonzero] = (arr[:, :, nonzero] - 1.0) / spans[nonzero]
         return scaled.reshape(len(arr), -1)
 
+    @partition_contract
     def from_unit_cube(self, x: Sequence[float]) -> Configuration:
         """Project a unit-cube vector back onto the feasible lattice.
 
@@ -429,6 +435,7 @@ class ConfigurationSpace:
             matrix[:, r] = _round_column(np.clip(vec[:, r], 0.0, 1.0), int(units))
         return Configuration.from_matrix(matrix)
 
+    @partition_contract
     def from_unit_cube_batch(self, x: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`from_unit_cube` over a batch of cube vectors.
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.engine import CLITEConfig, CLITEEngine
+from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget
 from .base import Policy, PolicyResult, TraceEntry
 
@@ -31,6 +32,7 @@ class CLITEPolicy(Policy):
 
             self._config = replace(self._config, seed=seed)
 
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         from dataclasses import replace
 

@@ -17,6 +17,7 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from ..resources.allocation import Configuration, _round_column
+from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget
 from .base import Policy, PolicyResult, SearchRecorder, TraceEntry
 
@@ -103,6 +104,7 @@ class GeneticPolicy(Policy):
     # ------------------------------------------------------------------
     # The search loop
     # ------------------------------------------------------------------
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         rng = np.random.default_rng(self.seed)
         recorder = SearchRecorder(node, budget)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Set
 
 from ..resources.allocation import Configuration
+from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget
 from .base import Policy, PolicyResult, SearchRecorder
 from .parties import DOWNSIZE_SLACK, _slack
@@ -49,6 +50,7 @@ class HeraclesPolicy(Policy):
             raise ValueError("stall_limit must be >= 1")
         self.stall_limit = stall_limit
 
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         if not node.lc_indices:
             raise ValueError("Heracles needs at least one LC job")

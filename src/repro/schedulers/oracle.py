@@ -17,6 +17,7 @@ from typing import List, Tuple
 
 from ..core.score import ScoreFunction
 from ..resources.allocation import Configuration
+from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget, Observation
 from .base import Policy, PolicyResult
 
@@ -67,6 +68,7 @@ class OraclePolicy(Policy):
             stride += 1
         return stride
 
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         """Offline sweep; ``budget`` is ignored (ORACLE is not online)."""
         del budget

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..resources.allocation import Configuration
+from ..resources.contracts import policy_contract
 from ..server.node import LC_ROLE, Node, NodeBudget, Observation
 from .base import Policy, PolicyResult, SearchRecorder
 
@@ -98,6 +99,7 @@ class PartiesPolicy(Policy):
     # ------------------------------------------------------------------
     # The control loop
     # ------------------------------------------------------------------
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         recorder = SearchRecorder(node, budget)
         config = node.space.equal_partition()

@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..resources.allocation import Configuration
+from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget
 from .base import Policy, PolicyResult, SearchRecorder
 
@@ -70,6 +71,7 @@ class RandomPlusPolicy(Policy):
                 return candidate
         return node.space.random(rng)
 
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         rng = np.random.default_rng(self.seed)
         recorder = SearchRecorder(node, budget)

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget
 from .base import Policy, PolicyResult, SearchRecorder
 from ._dse import evaluate_design, fit_and_probe_surface
@@ -110,6 +111,7 @@ class RSMPolicy(Policy):
         rows.extend(np.full(n_dims, mid) for _ in range(self.center_points))
         return rows
 
+    @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         rng = np.random.default_rng(self.seed)
         recorder = SearchRecorder(node, budget)

@@ -1,0 +1,6 @@
+"""Known-good and known-bad snippets exercised by test_repro_lint.py.
+
+Each rule family has a ``*_bad.py`` module that must trigger its rules
+and a ``*_good.py`` module that must lint clean.  These files are never
+imported — they exist purely as AST input for the linter.
+"""

@@ -1,0 +1,59 @@
+"""Fixture: decorated boundaries (and abstract methods) lint clean."""
+
+import abc
+
+
+def placement_contract(fn):
+    return fn
+
+
+def policy_contract(fn):
+    return fn
+
+
+def proposal_contract(fn):
+    return fn
+
+
+def partition_contract(fn):
+    return fn
+
+
+class PlacementPolicy:
+    def place(self, cluster, requests):
+        raise NotImplementedError
+
+
+class AbstractPlacement(PlacementPolicy):
+    @abc.abstractmethod
+    def place(self, cluster, requests):  # abstract: contract not required
+        ...
+
+
+class GreedyPlacement(PlacementPolicy):
+    @placement_contract
+    def place(self, cluster, requests):
+        return None
+
+
+class Policy:
+    def partition(self, node, budget):
+        raise NotImplementedError
+
+
+class SimplePolicy(Policy):
+    @policy_contract
+    def partition(self, node, budget):
+        return None
+
+
+class AcquisitionOptimizer:
+    @proposal_contract
+    def propose(self, node):
+        return None
+
+
+class Space:
+    @partition_contract
+    def make(self):
+        return None

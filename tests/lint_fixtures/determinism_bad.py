@@ -1,0 +1,18 @@
+"""Fixture: every determinism rule (RPL101-RPL104) fires here."""
+
+import random  # noqa: F401  (RPL103: globally seeded stdlib random)
+import time
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng()  # RPL101: unseeded
+
+
+def legacy_draw():
+    return np.random.rand(3)  # RPL102: hidden global RandomState
+
+
+def stamp():
+    return time.time()  # RPL104: wall-clock read

@@ -1,0 +1,11 @@
+"""Fixture: explicitly seeded randomness lints clean."""
+
+import numpy as np
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def draw(rng: np.random.Generator):
+    return rng.random(3)

@@ -1,0 +1,18 @@
+"""Fixture: RPL202 fires on unfrozen dataclasses in key positions."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheKey:  # RPL202(a): configured key class, not frozen
+    job: str
+    units: int
+
+
+@dataclass
+class LooseKey:
+    name: str
+
+
+def lookup(cache, name):
+    return cache.get(LooseKey(name))  # RPL202(b): unfrozen key object

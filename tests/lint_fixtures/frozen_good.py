@@ -1,0 +1,13 @@
+"""Fixture: frozen dataclass keys lint clean."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    job: str
+    units: int
+
+
+def lookup(cache, job, units):
+    return cache.get(CacheKey(job, units))

@@ -1,0 +1,12 @@
+"""Fixture: numerics-hygiene rules (RPL401, RPL402) fire here."""
+
+import numpy as np
+
+
+def exact_check(acquisition_value):
+    return acquisition_value == 0.5  # RPL401: bare float equality
+
+
+def narrow(arr):
+    small = arr.astype(np.float32)  # RPL402: narrowing astype
+    return small + np.zeros(3, dtype="float32")  # RPL402: narrow dtype kwarg

@@ -1,0 +1,14 @@
+"""Fixture: tolerance-based comparisons and float64 lint clean."""
+
+import math
+
+import numpy as np
+
+
+def tolerant_check(acquisition_value):
+    return math.isclose(acquisition_value, 0.5, abs_tol=1e-12)
+
+
+def wide(arr):
+    kept = arr.astype(np.float64)
+    return kept + np.zeros(3, dtype="float64")

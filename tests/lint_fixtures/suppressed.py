@@ -1,0 +1,20 @@
+"""Fixture: all three suppression comment forms silence findings."""
+# repro-lint: disable-file=RPL103
+
+import random  # noqa: F401  (silenced file-wide above)
+import time
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng()  # repro-lint: disable=RPL101
+
+
+def legacy_draw():
+    # repro-lint: disable-next-line=RPL102
+    return np.random.rand(3)
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=all

@@ -1,0 +1,316 @@
+"""repro-lint: rule behavior on the fixture corpus, reporters, CLI,
+and the meta-check that the package's own tree lints clean."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    load_config,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analysis.model import all_rules
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+def fixture_config(**overrides) -> LintConfig:
+    """A config retargeted at the fixture corpus' class names."""
+    base = dict(
+        hot_path=("",),  # numerics rules apply everywhere
+        shared_types=("SharedState",),
+        placement_bases=("PlacementPolicy",),
+        policy_bases=("Policy",),
+        optimizer_classes=("AcquisitionOptimizer",),
+        partition_constructors=(),  # opt in per test (drift rule)
+        frozen_key_classes=("CacheKey",),
+    )
+    base.update(overrides)
+    return LintConfig(**base)
+
+
+def lint_fixture(filename: str, **overrides):
+    return run_lint([FIXTURES / filename], fixture_config(**overrides))
+
+
+def rule_ids(findings) -> list:
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# Determinism family
+# ----------------------------------------------------------------------
+class TestDeterminismRules:
+    def test_bad_fixture_triggers_all_four_rules(self):
+        findings = lint_fixture("determinism_bad.py")
+        assert sorted(set(rule_ids(findings))) == [
+            "RPL101",
+            "RPL102",
+            "RPL103",
+            "RPL104",
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("determinism_good.py") == []
+
+    def test_unseeded_rng_message_points_at_call(self):
+        (finding,) = [
+            f for f in lint_fixture("determinism_bad.py")
+            if f.rule_id == "RPL101"
+        ]
+        assert "default_rng" in finding.message
+        assert finding.line > 1
+        assert finding.path.endswith("determinism_bad.py")
+
+    def test_seeded_default_rng_not_flagged(self, tmp_path):
+        snippet = tmp_path / "seeded.py"
+        snippet.write_text(
+            "import numpy as np\n"
+            "gen = np.random.default_rng(42)\n"
+            "other = np.random.default_rng(seed=7)\n"
+        )
+        assert run_lint([snippet], fixture_config()) == []
+
+
+# ----------------------------------------------------------------------
+# Thread-safety family
+# ----------------------------------------------------------------------
+class TestThreadSafetyRules:
+    def test_bad_fixture_flags_shared_mutation(self):
+        findings = [
+            f for f in lint_fixture("threadsafety_bad.py")
+            if f.rule_id == "RPL201"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        # direct attribute + item writes, the transitive helper, the global
+        assert len(findings) >= 4
+        assert "reachable from thread-pool entry point 'worker'" in messages
+        assert "'helper'" in messages  # call-path rendering
+        assert "module global" in messages
+
+    def test_bad_fixture_flags_setattr_backdoor(self):
+        findings = [
+            f for f in lint_fixture("threadsafety_bad.py")
+            if f.rule_id == "RPL203"
+        ]
+        assert len(findings) == 1
+        assert "thaw" in findings[0].message
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("threadsafety_good.py") == []
+
+    def test_frozen_key_rules(self):
+        findings = lint_fixture("frozen_bad.py")
+        assert rule_ids(findings) == ["RPL202", "RPL202"]
+        messages = "\n".join(f.message for f in findings)
+        assert "CacheKey" in messages  # configured class not frozen
+        assert "LooseKey" in messages  # unfrozen instance in key position
+        assert lint_fixture("frozen_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# Contract-presence family
+# ----------------------------------------------------------------------
+class TestContractRules:
+    def test_bad_fixture_triggers_all_four_rules(self):
+        findings = lint_fixture(
+            "contracts_bad.py", partition_constructors=("Space.make",)
+        )
+        assert sorted(rule_ids(findings)) == [
+            "RPL301",
+            "RPL302",
+            "RPL303",
+            "RPL304",
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert (
+            lint_fixture(
+                "contracts_good.py", partition_constructors=("Space.make",)
+            )
+            == []
+        )
+
+    def test_configured_constructor_drift_is_a_finding(self):
+        findings = lint_fixture(
+            "determinism_good.py",
+            partition_constructors=("Space.vanished",),
+            select=("RPL304",),
+        )
+        assert rule_ids(findings) == ["RPL304"]
+        assert "not found" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Numerics family
+# ----------------------------------------------------------------------
+class TestNumericsRules:
+    def test_bad_fixture(self):
+        findings = lint_fixture("numerics_bad.py")
+        assert sorted(rule_ids(findings)) == ["RPL401", "RPL402", "RPL402"]
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("numerics_good.py") == []
+
+    def test_rules_scoped_to_hot_path(self):
+        # Same bad file, but a hot_path that doesn't match it: silent.
+        findings = lint_fixture(
+            "numerics_bad.py", hot_path=("repro/core/",)
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions, config, reporters
+# ----------------------------------------------------------------------
+class TestSuppressionsAndConfig:
+    def test_all_three_suppression_forms(self):
+        assert lint_fixture("suppressed.py") == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        snippet = tmp_path / "wrong_id.py"
+        snippet.write_text(
+            "import numpy as np\n"
+            "gen = np.random.default_rng()  # repro-lint: disable=RPL104\n"
+        )
+        findings = run_lint([snippet], fixture_config())
+        assert rule_ids(findings) == ["RPL101"]
+
+    def test_select_and_ignore(self):
+        only = lint_fixture("determinism_bad.py", select=("RPL103",))
+        assert rule_ids(only) == ["RPL103"]
+        without = lint_fixture("determinism_bad.py", ignore=("RPL103",))
+        assert "RPL103" not in rule_ids(without)
+
+    def test_pyproject_table_overrides(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nhot-path = ["custom/"]\nignore = ["RPL103"]\n'
+        )
+        config = load_config(tmp_path / "module.py")
+        assert config.hot_path == ("custom/",)
+        assert config.ignore == ("RPL103",)
+
+    def test_unknown_config_key_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\nhot-paths = []\n"
+        )
+        with pytest.raises(ValueError, match="hot-paths"):
+            load_config(tmp_path / "module.py")
+
+
+class TestReporters:
+    def _findings(self):
+        return lint_fixture("determinism_bad.py")
+
+    def test_text_reporter(self):
+        text = render_text(self._findings())
+        assert "RPL101" in text and "RPL104" in text
+        assert "hint:" in text
+        assert render_text([]) == "repro-lint: clean (0 findings)"
+
+    def test_json_reporter_schema(self):
+        payload = json.loads(render_json(self._findings()))
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "repro-lint"
+        assert payload["finding_count"] == len(self._findings())
+        assert payload["counts_by_rule"]["RPL103"] == 1
+        first = payload["findings"][0]
+        assert set(first) >= {"rule_id", "path", "line", "col", "message"}
+
+    def test_findings_sorted_and_immutable(self):
+        findings = self._findings()
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        )
+        with pytest.raises(AttributeError):
+            findings[0].rule_id = "RPL999"
+
+
+# ----------------------------------------------------------------------
+# Rule registry and the repo meta-check
+# ----------------------------------------------------------------------
+class TestRegistryAndRepoTree:
+    EXPECTED_RULES = {
+        "RPL101", "RPL102", "RPL103", "RPL104",
+        "RPL201", "RPL202", "RPL203",
+        "RPL301", "RPL302", "RPL303", "RPL304",
+        "RPL401", "RPL402",
+    }
+
+    def test_registry_is_complete(self):
+        registry = all_rules()
+        assert set(registry) == self.EXPECTED_RULES
+        for rule_id, rule_cls in registry.items():
+            assert rule_cls.rule_id == rule_id
+            assert rule_cls.description
+            assert rule_cls.autofix_hint
+            assert rule_cls.family
+
+    def test_package_tree_lints_clean(self):
+        """The acceptance gate: repro-lint on src/repro finds nothing."""
+        findings = run_lint([PACKAGE], LintConfig())
+        assert findings == [], render_text(findings)
+
+
+# ----------------------------------------------------------------------
+# Console entry point
+# ----------------------------------------------------------------------
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self):
+        result = run_cli(str(PACKAGE))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_findings_exit_one(self):
+        result = run_cli(
+            str(FIXTURES / "determinism_bad.py"), "--select", "RPL101"
+        )
+        assert result.returncode == 1
+        assert "RPL101" in result.stdout
+
+    def test_json_format(self):
+        result = run_cli(
+            str(FIXTURES / "determinism_bad.py"),
+            "--select", "RPL101",
+            "--format", "json",
+        )
+        assert result.returncode == 1
+        assert json.loads(result.stdout)["finding_count"] == 1
+
+    def test_unknown_rule_exits_two(self):
+        result = run_cli(str(PACKAGE), "--select", "RPL999")
+        assert result.returncode == 2
+
+    def test_missing_path_exits_two(self):
+        result = run_cli(str(REPO_ROOT / "no_such_file.txt"))
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule_id in TestRegistryAndRepoTree.EXPECTED_RULES:
+            assert rule_id in result.stdout
