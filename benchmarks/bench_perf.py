@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -40,8 +40,13 @@ from repro.core.optimizer import AcquisitionOptimizer
 from repro.experiments import MixSpec
 from repro.schedulers import CLITEPolicy
 from repro.server import NodeBudget
+from repro.telemetry import WallClock
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: All timing goes through the injectable clock interface (the RPL104
+#: boundary) rather than ad-hoc ``time.perf_counter()`` reads.
+CLOCK = WallClock()
 OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
 
 #: The workload every timing section runs against: two LC jobs at
@@ -77,12 +82,12 @@ BASELINE = {
 def bench_end_to_end(seeds=(0, 1), budget_units=80):
     """Full CLITEPolicy.partition runs; the headline iterations/sec."""
     samples = 0
-    t0 = time.perf_counter()
+    t0 = CLOCK.now()
     for seed in seeds:
         node = MIX.build_node(seed=seed)
         result = CLITEPolicy(seed=seed).partition(node, NodeBudget(budget_units))
         samples += len(result.trace)
-    dt = time.perf_counter() - t0
+    dt = CLOCK.now() - t0
     return {"samples": samples, "seconds": dt, "iterations_per_sec": samples / dt}
 
 
@@ -99,10 +104,10 @@ def bench_propose(n=20, warmup_iterations=12):
     best = max(records, key=lambda r: r.score)
     sampled = {r.config.flat() for r in records}
     opt = AcquisitionOptimizer(node.space, rng=np.random.default_rng(0))
-    t0 = time.perf_counter()
+    t0 = CLOCK.now()
     for _ in range(n):
         opt.propose(gp, best_score=best.score, sampled=sampled, incumbent=best.config)
-    dt = time.perf_counter() - t0
+    dt = CLOCK.now() - t0
     return {"proposals": n, "seconds": dt, "proposals_per_sec": n / dt}
 
 
@@ -113,22 +118,22 @@ def bench_gp(n_train=60, d=9, n_query=256, reps=30):
     y = rng.random(n_train)
     xq = rng.random((n_query, d))
     gp = GaussianProcess()
-    t0 = time.perf_counter()
+    t0 = CLOCK.now()
     for _ in range(reps):
         gp.fit(x, y)
-    fit_dt = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    fit_dt = CLOCK.now() - t0
+    t0 = CLOCK.now()
     for _ in range(reps):
         gp.predict(xq)
-    pred_dt = time.perf_counter() - t0
+    pred_dt = CLOCK.now() - t0
     incr_reps = max(reps // 3, 1)
-    t0 = time.perf_counter()
+    t0 = CLOCK.now()
     for _ in range(incr_reps):
         g = GaussianProcess()
         g.fit(x[:5], y[:5])
         for i in range(5, n_train):
             g.add_sample(x[i], y[i])
-    incr_dt = (time.perf_counter() - t0) / incr_reps
+    incr_dt = (CLOCK.now() - t0) / incr_reps
     return {
         "fit_per_sec": reps / fit_dt,
         "predict_batch256_per_sec": reps / pred_dt,
@@ -149,16 +154,49 @@ def speedups(current):
     return out
 
 
-def main() -> None:
+#: ``--check`` fails when the quick-mode end-to-end rate falls below
+#: this fraction of the tracked ``BENCH_perf.json`` rate.  Generous
+#: (30% headroom) because quick mode runs seconds, not minutes — the
+#: guard exists to catch order-of-magnitude regressions (an accidental
+#: O(n²) in the hot loop, telemetry overhead leaking into the disabled
+#: path), not single-digit drift.
+CHECK_THRESHOLD = 0.70
+
+
+def check_regression(current) -> int:
+    """Compare quick-mode rates against the tracked full-run numbers."""
+    if not OUTPUT_PATH.exists():
+        print(f"check: no {OUTPUT_PATH.name} to compare against; skipping")
+        return 0
+    tracked = json.loads(OUTPUT_PATH.read_text())
+    reference = tracked["current"]["end_to_end"]["iterations_per_sec"]
+    measured = current["end_to_end"]["iterations_per_sec"]
+    ratio = measured / reference
+    verdict = "ok" if ratio >= CHECK_THRESHOLD else "REGRESSION"
+    print(
+        f"check: end_to_end {measured:.1f} it/s vs tracked "
+        f"{reference:.1f} it/s (x{ratio:.2f}, floor x{CHECK_THRESHOLD}): "
+        f"{verdict}"
+    )
+    return 0 if ratio >= CHECK_THRESHOLD else 1
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke: tiny workloads, prints results, does not write JSON",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="quick workloads + fail (exit 1) if iterations/sec drops "
+        f"more than {1 - CHECK_THRESHOLD:.0%} below BENCH_perf.json",
+    )
     args = parser.parse_args()
 
-    if args.quick:
+    if args.quick or args.check:
         current = {
             "end_to_end": bench_end_to_end(seeds=(0,), budget_units=25),
             "propose": bench_propose(n=3, warmup_iterations=6),
@@ -172,18 +210,21 @@ def main() -> None:
         }
 
     report = {
-        "mode": "quick" if args.quick else "full",
+        "mode": "quick" if (args.quick or args.check) else "full",
         "baseline": BASELINE,
         "current": current,
         "speedup": speedups(current),
     }
     print(json.dumps(report, indent=2))
+    if args.check:
+        return check_regression(current)
     if args.quick:
         print("\n(quick mode: BENCH_perf.json not updated)")
-        return
+        return 0
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {OUTPUT_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

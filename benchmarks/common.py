@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.telemetry import WallClock
+
 from repro.core import CLITEConfig
 from repro.schedulers import (
     CLITEPolicy,
@@ -26,6 +28,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Shared online sampling budget for grid benches.
 BUDGET = NodeBudget(80)
+
+#: The benches' one wall-clock boundary.  Timing reads go through the
+#: injectable :class:`repro.telemetry.clock.Clock` interface rather
+#: than ad-hoc ``time.perf_counter()`` calls, matching the repro-lint
+#: RPL104 discipline the library itself follows.
+WALL_CLOCK = WallClock()
 
 
 def save_report(name: str, text: str) -> None:

@@ -44,6 +44,7 @@ from .schedulers import (
     RandomPlusPolicy,
 )
 from .server import Job, Node, NodeBudget, Observation, PerformanceCounters
+from .telemetry import Telemetry, TelemetrySnapshot, WallClock
 from .workloads import (
     BGWorkload,
     LCWorkload,
@@ -83,6 +84,9 @@ __all__ = [
     "RandomPlusPolicy",
     "Resource",
     "ServerSpec",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "WallClock",
     "bg_workload",
     "default_server",
     "full_server",

@@ -15,6 +15,7 @@ DETERMINISM = "determinism"
 THREAD_SAFETY = "thread-safety"
 CONTRACTS = "contracts"
 NUMERICS = "numerics"
+TELEMETRY = "telemetry"
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
         rules_contracts,
         rules_determinism,
         rules_numerics,
+        rules_telemetry,
         rules_threadsafety,
     )
 

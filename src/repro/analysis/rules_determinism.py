@@ -175,9 +175,11 @@ class WallClockRead(Rule):
         "runs observe identical timelines."
     )
     autofix_hint = (
-        "Use the simulated clock (Node.clock_s / Observation.time_s) or "
-        "accept a timestamp parameter; wall-clock timing belongs in "
-        "benchmarks/, outside the package."
+        "Read time through an injected repro.telemetry.clock.Clock "
+        "(SimulatedClock by default; WallClock is the one sanctioned "
+        "boundary and carries the only suppression) or the simulated "
+        "clock (Node.clock_s / Observation.time_s); ad-hoc wall-clock "
+        "reads belong in benchmarks/, outside the package."
     )
 
     def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:

@@ -32,6 +32,7 @@ from .experiments import (
 )
 from .resources import default_server
 from .server import NodeBudget
+from .telemetry import Telemetry, WallClock, write_jsonl
 from .workloads import (
     BG_NAMES,
     LC_NAMES,
@@ -129,9 +130,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     factory = STANDARD_POLICIES[args.policy]
     print(f"Partitioning {mix.label()} with {args.policy} ...")
+    telemetry = Telemetry.enabled(clock=WallClock()) if args.trace else None
     trial = run_trial(
-        mix, factory(args.seed), seed=args.seed, budget=NodeBudget(args.budget)
+        mix,
+        factory(args.seed),
+        seed=args.seed,
+        budget=NodeBudget(args.budget),
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        lines = write_jsonl(telemetry, args.trace)
+        print(
+            f"wrote {lines} telemetry records to {args.trace} "
+            f"(render with: repro-trace summary {args.trace})"
+        )
     print(f"\nsamples: {trial.samples}   QoS met: {trial.qos_met}")
     if trial.result.infeasible_jobs:
         print(
@@ -224,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy",
         default="CLITE",
         help=f"one of: {', '.join(STANDARD_POLICIES)}",
+    )
+    run_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable telemetry and write a JSONL trace to FILE "
+        "(render it with repro-trace)",
     )
     run_parser.set_defaults(func=cmd_run)
 

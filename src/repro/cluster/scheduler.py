@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.engine import CLITEConfig, CLITEEngine
 from ..resources.contracts import placement_contract
 from ..server.node import NodeBudget
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
 
 #: Engine settings for the many small optimizations placement needs.
@@ -41,20 +42,42 @@ def verify_node(
     node_state: ClusterNode,
     engine_config: Optional[CLITEConfig] = None,
     seed: Optional[int] = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[bool, Optional[float]]:
     """Partition one node with CLITE and report (qos_met, mean BG perf).
 
     The report uses the simulator's noise-free view of the chosen
     partition, like every other ground-truth metric in the harness.
+    With telemetry, the run is wrapped in a ``cluster.verify_node``
+    span and its observation windows land on the per-node
+    ``cluster.verify.samples`` counter — safe under the thread pool,
+    since each worker thread keeps its own span stack and the metric
+    instruments serialize their updates.
     """
     from dataclasses import replace
 
     config = engine_config or PLACEMENT_ENGINE
-    node = node_state.build_node(seed=seed)
-    result = CLITEEngine(node, replace(config, seed=seed)).optimize()
-    if result.best_config is None:
-        return False, None
-    truth = node.true_performance(result.best_config)
+    tel = telemetry if telemetry is not None else (
+        config.telemetry if config.telemetry is not None else NULL_TELEMETRY
+    )
+    with tel.tracer.span(
+        "cluster.verify_node", node=node_state.index, jobs=node_state.n_jobs
+    ) as span:
+        node = node_state.build_node(seed=seed)
+        engine = CLITEEngine(
+            node,
+            replace(config, seed=seed, telemetry=tel if tel.active else None),
+        )
+        result = engine.optimize()
+        if tel.active:
+            tel.metrics.counter(
+                "cluster.verify.samples", node=str(node_state.index)
+            ).add(result.samples_taken)
+        if result.best_config is None:
+            span.set("qos_met", False)
+            return False, None
+        truth = node.true_performance(result.best_config)
+        span.set("qos_met", truth.all_qos_met)
     bg = [j.throughput_norm for j in truth.bg_jobs]
     return truth.all_qos_met, (sum(bg) / len(bg) if bg else None)
 
@@ -64,6 +87,7 @@ def verify_nodes(
     engine_config: Optional[CLITEConfig] = None,
     seed: Optional[int] = 0,
     max_workers: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[int, Tuple[bool, Optional[float]]]:
     """Run :func:`verify_node` over many nodes, concurrently when possible.
 
@@ -78,12 +102,14 @@ def verify_nodes(
         max_workers = min(len(states), os.cpu_count() or 1) or 1
     if len(states) <= 1 or max_workers <= 1:
         return {
-            state.index: verify_node(state, engine_config, seed)
+            state.index: verify_node(state, engine_config, seed, telemetry)
             for state in states
         }
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         futures = {
-            state.index: pool.submit(verify_node, state, engine_config, seed)
+            state.index: pool.submit(
+                verify_node, state, engine_config, seed, telemetry
+            )
             for state in states
         }
         return {index: future.result() for index, future in futures.items()}
@@ -111,17 +137,26 @@ class PlacementPolicy(ABC):
         verify: bool,
         engine_config: Optional[CLITEConfig] = None,
         max_workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        spans_since: int = 0,
     ) -> PlacementOutcome:
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
         reports: Dict[int, Tuple[bool, Optional[float]]] = {}
         if verify:
-            reports = verify_nodes(
-                cluster.used_nodes(), engine_config, seed, max_workers
-            )
+            with tel.tracer.span("cluster.verify") as span:
+                reports = verify_nodes(
+                    cluster.used_nodes(), engine_config, seed, max_workers,
+                    telemetry=tel,
+                )
+                span.set("nodes", len(reports))
         return PlacementOutcome(
             placements=cluster.placements(),
             rejected=tuple(rejected),
             machines_used=cluster.machines_used(),
             node_reports=reports,
+            telemetry=(
+                tel.snapshot(spans_since=spans_since) if tel.active else None
+            ),
         )
 
 
@@ -134,6 +169,8 @@ class DedicatedPlacement(PlacementPolicy):
     #: Thread-pool width for per-node verification (None = one worker
     #: per used node, capped at the CPU count; 1 = serial).
     verify_workers: Optional[int] = None
+    #: Optional telemetry context shared across placement + verification.
+    telemetry: Optional[Telemetry] = None
 
     name = "dedicated"
 
@@ -144,16 +181,22 @@ class DedicatedPlacement(PlacementPolicy):
         requests: Sequence[JobRequest],
         seed: Optional[int] = 0,
     ) -> PlacementOutcome:
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        spans_before = tel.tracer.finished_count
         rejected: List[str] = []
-        for request in requests:
-            empty = [n for n in cluster.nodes if n.n_jobs == 0]
-            if not empty:
-                rejected.append(request.request_name)
-                continue
-            cluster.place(empty[0].index, request)
+        with tel.tracer.span(
+            "cluster.place", policy=self.name, requests=len(requests)
+        ):
+            for request in requests:
+                empty = [n for n in cluster.nodes if n.n_jobs == 0]
+                if not empty:
+                    rejected.append(request.request_name)
+                    continue
+                cluster.place(empty[0].index, request)
         return self._finalize(
             cluster, rejected, seed, self.verify,
             max_workers=self.verify_workers,
+            telemetry=tel, spans_since=spans_before,
         )
 
 
@@ -164,6 +207,7 @@ class FirstFitPlacement(PlacementPolicy):
     max_jobs_per_node: int = 4
     verify: bool = True
     verify_workers: Optional[int] = None
+    telemetry: Optional[Telemetry] = None
 
     name = "first-fit"
 
@@ -178,23 +222,29 @@ class FirstFitPlacement(PlacementPolicy):
         requests: Sequence[JobRequest],
         seed: Optional[int] = 0,
     ) -> PlacementOutcome:
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        spans_before = tel.tracer.finished_count
         rejected: List[str] = []
-        for request in requests:
-            target = None
-            for node_state in cluster.nodes:
-                if (
-                    node_state.n_jobs < self.max_jobs_per_node
-                    and node_state.can_host(request)
-                ):
-                    target = node_state.index
-                    break
-            if target is None:
-                rejected.append(request.request_name)
-                continue
-            cluster.place(target, request)
+        with tel.tracer.span(
+            "cluster.place", policy=self.name, requests=len(requests)
+        ):
+            for request in requests:
+                target = None
+                for node_state in cluster.nodes:
+                    if (
+                        node_state.n_jobs < self.max_jobs_per_node
+                        and node_state.can_host(request)
+                    ):
+                        target = node_state.index
+                        break
+                if target is None:
+                    rejected.append(request.request_name)
+                    continue
+                cluster.place(target, request)
         return self._finalize(
             cluster, rejected, seed, self.verify,
             max_workers=self.verify_workers,
+            telemetry=tel, spans_since=spans_before,
         )
 
 
@@ -218,6 +268,7 @@ class CLITEPlacement(PlacementPolicy):
     )
     verify: bool = True
     verify_workers: Optional[int] = None
+    telemetry: Optional[Telemetry] = None
 
     name = "clite"
 
@@ -225,13 +276,24 @@ class CLITEPlacement(PlacementPolicy):
         if self.max_jobs_per_node < 1:
             raise ValueError("max_jobs_per_node must be >= 1")
 
+    def _resolve_telemetry(self) -> Telemetry:
+        if self.telemetry is not None:
+            return self.telemetry
+        if self.engine_config.telemetry is not None:
+            return self.engine_config.telemetry
+        return NULL_TELEMETRY
+
     def _admissible(
-        self, node_state: ClusterNode, request: JobRequest, seed: Optional[int]
+        self,
+        node_state: ClusterNode,
+        request: JobRequest,
+        seed: Optional[int],
+        telemetry: Optional[Telemetry] = None,
     ) -> bool:
         tentative = node_state.with_request(request)
         if not request.is_lc and not tentative.lc_requests:
             return True  # BG-only nodes need no QoS proof
-        qos_met, _ = verify_node(tentative, self.engine_config, seed)
+        qos_met, _ = verify_node(tentative, self.engine_config, seed, telemetry)
         return qos_met
 
     @placement_contract
@@ -241,30 +303,40 @@ class CLITEPlacement(PlacementPolicy):
         requests: Sequence[JobRequest],
         seed: Optional[int] = 0,
     ) -> PlacementOutcome:
+        tel = self._resolve_telemetry()
+        spans_before = tel.tracer.finished_count
         rejected: List[str] = []
-        for request in requests:
-            occupied = sorted(
-                (n for n in cluster.nodes if 0 < n.n_jobs < self.max_jobs_per_node),
-                key=lambda n: -n.n_jobs,
-            )
-            target = None
-            for node_state in occupied:
-                if not node_state.can_host(request):
-                    continue
-                if self._admissible(node_state, request, seed):
-                    target = node_state.index
-                    break
-            if target is None:
-                empty = [n for n in cluster.nodes if n.n_jobs == 0]
-                if empty:
-                    target = empty[0].index
-                else:
-                    rejected.append(request.request_name)
-                    continue
-            cluster.place(target, request)
+        with tel.tracer.span(
+            "cluster.place", policy=self.name, requests=len(requests)
+        ):
+            for request in requests:
+                occupied = sorted(
+                    (
+                        n
+                        for n in cluster.nodes
+                        if 0 < n.n_jobs < self.max_jobs_per_node
+                    ),
+                    key=lambda n: -n.n_jobs,
+                )
+                target = None
+                for node_state in occupied:
+                    if not node_state.can_host(request):
+                        continue
+                    if self._admissible(node_state, request, seed, tel):
+                        target = node_state.index
+                        break
+                if target is None:
+                    empty = [n for n in cluster.nodes if n.n_jobs == 0]
+                    if empty:
+                        target = empty[0].index
+                    else:
+                        rejected.append(request.request_name)
+                        continue
+                cluster.place(target, request)
         return self._finalize(
             cluster, rejected, seed, self.verify, self.engine_config,
             max_workers=self.verify_workers,
+            telemetry=tel, spans_since=spans_before,
         )
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..resources.spec import ServerSpec, default_server
 from ..server.node import Job, Node
+from ..telemetry import TelemetrySnapshot
 from ..workloads.base import BGWorkload, LCWorkload
 from ..workloads.loadgen import LoadSchedule
 
@@ -165,6 +166,9 @@ class PlacementOutcome:
         machines_used: Number of nodes hosting at least one job.
         node_reports: Per-used-node (qos_met, mean normalized BG perf or
             None); filled by policies that verify placements online.
+        telemetry: Run-scoped telemetry snapshot (placement + per-node
+            verification spans and counters) when the policy ran with a
+            telemetry context, else ``None``.
     """
 
     placements: Dict[str, int]
@@ -173,6 +177,7 @@ class PlacementOutcome:
     node_reports: Dict[int, Tuple[bool, Optional[float]]] = field(
         default_factory=dict
     )
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def all_qos_met(self) -> bool:

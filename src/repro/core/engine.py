@@ -10,7 +10,7 @@ partition is then enacted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set, Tuple
 
 import numpy as np
@@ -18,6 +18,7 @@ import numpy as np
 from ..resources.allocation import Configuration
 from ..resources.spec import CORES
 from ..server.node import Node, Observation
+from ..telemetry import NULL_TELEMETRY, Telemetry, TelemetrySnapshot
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .bootstrap import bootstrap_configurations, run_bootstrap
 from .dropout import DropoutCopy
@@ -86,6 +87,13 @@ class CLITEConfig:
         stop_on_infeasible: Abort early when some LC job misses QoS even
             at maximum allocation ("schedule it elsewhere").
         seed: Seed for all engine randomness.
+        telemetry: Optional :class:`repro.telemetry.Telemetry` context.
+            When given, the engine wraps each Algorithm 1 phase in a
+            span, counts cache traffic and iterations in the metric
+            registry, installs the context on its node, and attaches a
+            :class:`repro.telemetry.TelemetrySnapshot` to the result.
+            ``None`` (the default) routes every hook through the shared
+            no-op context, keeping the hot path effectively free.
     """
 
     zeta: float = 0.01
@@ -110,6 +118,7 @@ class CLITEConfig:
     refine_patience: int = 5
     stop_on_infeasible: bool = True
     seed: Optional[int] = None
+    telemetry: Optional[Telemetry] = None
 
     def build_acquisition(self) -> AcquisitionFunction:
         if self.acquisition is not None:
@@ -141,6 +150,10 @@ class CLITEResult:
     already answered that (partition, load) point, so the window cost no
     re-simulation (counter noise, when enabled, is still re-drawn per
     window — see :class:`repro.server.node.Node`).
+
+    ``telemetry`` is the run-scoped snapshot (per-phase span breakdown,
+    cumulative counters) when the engine ran with a telemetry context,
+    else ``None``.
     """
 
     best_config: Optional[Configuration]
@@ -151,6 +164,7 @@ class CLITEResult:
     converged: bool
     cache_hits: int = 0
     cache_misses: int = 0
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def samples_taken(self) -> int:
@@ -179,6 +193,12 @@ class CLITEEngine:
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.config.seed)
+        self._telemetry = (
+            self.config.telemetry
+            if self.config.telemetry is not None
+            else NULL_TELEMETRY
+        )
+        self._tracer = self._telemetry.tracer
         self.score_fn = ScoreFunction()
         self._dropout = DropoutCopy(
             random_job_prob=self.config.dropout_random_prob,
@@ -190,6 +210,7 @@ class CLITEEngine:
             acquisition=self.config.build_acquisition(),
             n_restarts=self.config.n_restarts,
             rng=self._rng,
+            tracer=self._tracer,
         )
         self._termination = EITermination(
             base_threshold=self.config.ei_threshold,
@@ -239,9 +260,37 @@ class CLITEEngine:
     # Algorithm 1
     # ------------------------------------------------------------------
     def optimize(self) -> CLITEResult:
-        """Run the full bootstrap-then-BO loop and return the best found."""
+        """Run the full bootstrap-then-BO loop and return the best found.
+
+        With telemetry enabled, the run is wrapped in an
+        ``engine.optimize`` root span (phases nest under it), the
+        context is installed on the node so observation windows and
+        cache traffic are recorded too, and the returned result carries
+        a snapshot scoped to exactly this run's spans.
+        """
+        telemetry = self._telemetry
+        if telemetry.active and not self.node.telemetry.active:
+            self.node.telemetry = telemetry
+        spans_before = telemetry.tracer.finished_count
+        with telemetry.tracer.span(
+            "engine.optimize", jobs=self.node.n_jobs
+        ) as span:
+            result = self._optimize()
+            span.set("samples", result.samples_taken)
+            span.set("qos_met", result.qos_met)
+            span.set("converged", result.converged)
+        if not telemetry.active:
+            return result
+        telemetry.metrics.counter("engine.runs").add()
+        telemetry.metrics.counter("engine.samples").add(result.samples_taken)
+        return replace(
+            result, telemetry=telemetry.snapshot(spans_since=spans_before)
+        )
+
+    def _optimize(self) -> CLITEResult:
         cache_hits0, cache_misses0 = self.node.cache_info()
-        records, infeasible = self._bootstrap_samples()
+        with self._tracer.span("engine.bootstrap"):
+            records, infeasible = self._bootstrap_samples()
         if infeasible and self.config.stop_on_infeasible:
             best = max(records, key=lambda r: r.score)
             hits, misses = self.node.cache_info()
@@ -276,6 +325,7 @@ class CLITEEngine:
             ):
                 # Leave room in the budget for the confirmation windows.
                 break
+            self._telemetry.metrics.counter("engine.iterations").add()
             # Condition the surrogate on the new observations only: the
             # first round is a batch fit, every later round a rank-1
             # Cholesky update per new sample (the GP refits itself in
@@ -305,7 +355,8 @@ class CLITEEngine:
             if not best_record.observation.all_qos_met and iteration % 2 == 0:
                 repair = self._repair_candidate(best_record, sampled)
                 if repair is not None:
-                    observation = self.node.observe(repair)
+                    with self._tracer.span("engine.observe", phase="repair"):
+                        observation = self.node.observe(repair)
                     score = self.score_fn(observation)
                     self._dropout.update(repair, observation, self.node)
                     sampled.add(repair.flat())
@@ -326,22 +377,23 @@ class CLITEEngine:
                 and iteration % self.config.exploit_every
                 == self.config.exploit_every - 1
             )
-            if exploit_round:
-                proposal = self._optimizer.propose_exploit(
-                    gp,
-                    incumbent=best_record.config,
-                    sampled=sampled,
-                    upper_caps=self._upper_caps(records),
-                )
-            else:
-                proposal = self._optimizer.propose(
-                    gp,
-                    best_score=best_record.score,
-                    sampled=sampled,
-                    incumbent=best_record.config,
-                    dropout=dropout,
-                    upper_caps=self._upper_caps(records),
-                )
+            with self._tracer.span("engine.propose", iteration=iteration):
+                if exploit_round:
+                    proposal = self._optimizer.propose_exploit(
+                        gp,
+                        incumbent=best_record.config,
+                        sampled=sampled,
+                        upper_caps=self._upper_caps(records),
+                    )
+                else:
+                    proposal = self._optimizer.propose(
+                        gp,
+                        best_score=best_record.score,
+                        sampled=sampled,
+                        incumbent=best_record.config,
+                        dropout=dropout,
+                        upper_caps=self._upper_caps(records),
+                    )
             if first_qos_iteration is None and any(
                 r.observation.all_qos_met for r in records
             ):
@@ -364,7 +416,8 @@ class CLITEEngine:
             else:
                 config, ei = self._random_unseen(sampled), None
 
-            observation = self.node.observe(config)
+            with self._tracer.span("engine.observe", phase="search"):
+                observation = self.node.observe(config)
             score = self.score_fn(observation)
             self._dropout.update(config, observation, self.node)
             sampled.add(config.flat())
@@ -379,8 +432,10 @@ class CLITEEngine:
                 )
             )
 
-        self._refine(records, sampled)
-        best = self._confirm_best(records)
+        with self._tracer.span("engine.refine"):
+            self._refine(records, sampled)
+        with self._tracer.span("engine.confirm"):
+            best = self._confirm_best(records)
         hits, misses = self.node.cache_info()
         return CLITEResult(
             best_config=best.config,

@@ -25,6 +25,7 @@ from ..resources.allocation import (
     _round_columns_batch,
 )
 from ..resources.contracts import proposal_contract
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .dropout import DropoutDecision
 from .gp import GaussianProcess
@@ -89,6 +90,9 @@ class AcquisitionOptimizer:
         rng: Random generator shared with the engine, or an explicit
             integer seed.  Required: an unseeded fallback would make
             the multi-start screening non-reproducible (RPL101).
+        tracer: Optional :class:`repro.telemetry.Tracer`; each
+            :meth:`propose` call is wrapped in an ``optimizer.propose``
+            span.  Defaults to the shared no-op tracer.
     """
 
     def __init__(
@@ -98,6 +102,7 @@ class AcquisitionOptimizer:
         n_restarts: int = 8,
         pool_size: int = 256,
         rng: Optional[RNGLike] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if n_restarts < 1:
             raise ValueError("need at least one restart")
@@ -109,6 +114,7 @@ class AcquisitionOptimizer:
         )
         self.n_restarts = n_restarts
         self.pool_size = pool_size
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = resolve_rng(rng, owner="AcquisitionOptimizer")
         self._spans = np.array(
             [r.units - space.n_jobs for r in space.spec.resources], dtype=float
@@ -417,6 +423,30 @@ class AcquisitionOptimizer:
             acquisition: One-off acquisition override for this round
                 (the engine uses it for pure-exploitation rounds).
         """
+        with self._tracer.span("optimizer.propose") as span:
+            proposal = self._propose_impl(
+                gp,
+                best_score,
+                sampled,
+                incumbent=incumbent,
+                dropout=dropout,
+                upper_caps=upper_caps,
+                acquisition=acquisition,
+            )
+            span.set("candidates", len(proposal.candidates))
+            span.set("max_acquisition", proposal.max_acquisition)
+        return proposal
+
+    def _propose_impl(
+        self,
+        gp: GaussianProcess,
+        best_score: float,
+        sampled: Set[Tuple[int, ...]],
+        incumbent: Optional[Configuration] = None,
+        dropout: Optional[DropoutDecision] = None,
+        upper_caps: Optional[np.ndarray] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+    ) -> Proposal:
         acq_fn = acquisition if acquisition is not None else self.acquisition
         space = self.space
         pinned = dropout is not None and dropout.job_index is not None

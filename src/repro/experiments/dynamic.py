@@ -10,13 +10,14 @@ as the LC job's demand grows — can be read straight off it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from ..core.engine import CLITEConfig, CLITEEngine
 from ..resources.spec import ServerSpec, default_server
 from ..server.monitor import QoSMonitor, Trigger
 from ..server.node import Observation
+from ..telemetry import Telemetry, TelemetrySnapshot
 from .spec import MixSpec
 
 
@@ -31,10 +32,16 @@ class DynamicEvent:
 
 @dataclass(frozen=True)
 class DynamicTrace:
-    """Everything that happened during a dynamic-load run."""
+    """Everything that happened during a dynamic-load run.
+
+    ``telemetry`` holds the run's snapshot (monitor checks, triggers,
+    re-invocation events, engine phases) when :func:`run_dynamic` ran
+    with a telemetry context, else ``None``.
+    """
 
     events: Tuple[DynamicEvent, ...]
     reinvocations: Tuple[float, ...]  # times at which re-optimization began
+    telemetry: Optional[TelemetrySnapshot] = None
 
     def bg_series(self, bg_job: str) -> List[Tuple[float, float]]:
         """(time, normalized throughput) of one BG job."""
@@ -67,18 +74,27 @@ def run_dynamic(
     engine_config: Optional[CLITEConfig] = None,
     seed: Optional[int] = 0,
     load_change_threshold: float = 0.05,
+    telemetry: Optional[Telemetry] = None,
 ) -> DynamicTrace:
     """Run CLITE with monitoring and re-invocation until ``total_time_s``.
 
     The mix's LC jobs may carry :class:`LoadSchedule`s; the node's
     simulated clock advances one observation window per sample, so the
-    schedule plays out in (simulated) real time.
+    schedule plays out in (simulated) real time.  With ``telemetry``,
+    every engine run, monitor check, and observation window is traced,
+    each re-invocation emits a ``dynamic.reinvocation`` event stamped
+    with the simulated node time, and the returned trace carries the
+    run's snapshot.
     """
     if total_time_s <= 0:
         raise ValueError("total_time_s must be positive")
     server = server or default_server()
     node = mix.build_node(server=server, seed=seed)
     config = engine_config or CLITEConfig(seed=seed)
+    if telemetry is not None and telemetry.active:
+        node.telemetry = telemetry
+        config = replace(config, telemetry=telemetry)
+    spans_before = telemetry.tracer.finished_count if telemetry else 0
 
     events: List[DynamicEvent] = []
     reinvocations: List[float] = []
@@ -92,16 +108,37 @@ def run_dynamic(
     cursor = record("optimize", 0)
     best = result.best_config
 
-    monitor = QoSMonitor(node, load_change_threshold=load_change_threshold)
+    monitor = QoSMonitor(
+        node,
+        load_change_threshold=load_change_threshold,
+        telemetry=telemetry,
+    )
     while node.clock_s < total_time_s:
         report = monitor.check(best)
         cursor = record("monitor", cursor)
         if report.trigger is not Trigger.NONE:
             reinvocations.append(node.clock_s)
+            if telemetry is not None and telemetry.active:
+                telemetry.metrics.counter("dynamic.reinvocations").add()
+                telemetry.tracer.event(
+                    "dynamic.reinvocation",
+                    trigger=report.trigger.value,
+                    node_time_s=node.clock_s,
+                )
             result = CLITEEngine(node, config).optimize()
             cursor = record("reoptimize", cursor)
             best = result.best_config
             monitor = QoSMonitor(
-                node, load_change_threshold=load_change_threshold
+                node,
+                load_change_threshold=load_change_threshold,
+                telemetry=telemetry,
             )
-    return DynamicTrace(events=tuple(events), reinvocations=tuple(reinvocations))
+    return DynamicTrace(
+        events=tuple(events),
+        reinvocations=tuple(reinvocations),
+        telemetry=(
+            telemetry.snapshot(spans_since=spans_before)
+            if telemetry is not None and telemetry.active
+            else None
+        ),
+    )

@@ -5,21 +5,35 @@ settling: RAND+ and GENETIC spend a preset budget, PARTIES stops at the
 first QoS-meeting partition, CLITE samples until its EI termination
 fires, and ORACLE's offline sweep is orders of magnitude beyond all of
 them.
+
+With a telemetry context the table also reports *measured* overhead
+(Fig. 15b's concern): per-trial wall seconds read from the context's
+injectable clock and, for policies that expose internal phases (CLITE),
+the mean per-phase span breakdown of one run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..server.node import NodeBudget
+from ..telemetry import Telemetry
 from .runner import PolicyFactory, run_trial
 from .spec import MixSpec
 
 
 @dataclass(frozen=True)
 class OverheadRow:
-    """Average sampling cost of one policy on one mix."""
+    """Average sampling cost of one policy on one mix.
+
+    ``mean_wall_seconds`` and ``phase_seconds`` are populated only when
+    :func:`overhead_table` ran with a telemetry context; wall time is
+    read from the context's clock (so a :class:`SimulatedClock` yields
+    zeros and a :class:`WallClock` yields real seconds), and
+    ``phase_seconds`` is the across-trials mean of each span phase for
+    policies that report one (CLITE).
+    """
 
     policy: str
     mix_label: str
@@ -28,6 +42,8 @@ class OverheadRow:
     mean_samples: float
     mean_evaluations: float
     qos_success_rate: float
+    mean_wall_seconds: Optional[float] = None
+    phase_seconds: Optional[Mapping[str, float]] = None
 
 
 def overhead_table(
@@ -35,6 +51,7 @@ def overhead_table(
     policies: Dict[str, PolicyFactory],
     seeds: Sequence[int] = (0, 1, 2),
     budget: Optional[NodeBudget] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[OverheadRow, ...]:
     """Fig. 15(a): per-policy average sample counts over several mixes."""
     rows = []
@@ -43,10 +60,27 @@ def overhead_table(
             trial_seeds: Sequence[Optional[int]] = (
                 seeds if name != "ORACLE" else seeds[:1]
             )
-            trials = [
-                run_trial(mix, factory(seed), seed=seed, budget=budget)
-                for seed in trial_seeds
-            ]
+            trials = []
+            walls = []
+            phase_sums: Dict[str, float] = {}
+            phase_trials = 0
+            for seed in trial_seeds:
+                started = telemetry.clock.now() if telemetry else 0.0
+                trial = run_trial(
+                    mix,
+                    factory(seed),
+                    seed=seed,
+                    budget=budget,
+                    telemetry=telemetry,
+                )
+                if telemetry is not None:
+                    walls.append(telemetry.clock.now() - started)
+                trials.append(trial)
+                snapshot = trial.result.telemetry
+                if snapshot is not None and snapshot.phase_seconds:
+                    phase_trials += 1
+                    for phase, seconds in snapshot.phase_seconds.items():
+                        phase_sums[phase] = phase_sums.get(phase, 0.0) + seconds
             rows.append(
                 OverheadRow(
                     policy=name,
@@ -57,6 +91,17 @@ def overhead_table(
                     mean_evaluations=sum(t.evaluations for t in trials)
                     / len(trials),
                     qos_success_rate=sum(t.qos_met for t in trials) / len(trials),
+                    mean_wall_seconds=(
+                        sum(walls) / len(walls) if walls else None
+                    ),
+                    phase_seconds=(
+                        {
+                            phase: total / phase_trials
+                            for phase, total in sorted(phase_sums.items())
+                        }
+                        if phase_trials
+                        else None
+                    ),
                 )
             )
     return tuple(rows)

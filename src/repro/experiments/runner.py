@@ -25,6 +25,7 @@ from ..schedulers import (
     RandomPlusPolicy,
 )
 from ..server.node import BG_ROLE, LC_ROLE, Node, NodeBudget
+from ..telemetry import Telemetry
 from .spec import MixSpec
 
 #: A policy factory: seed -> fresh policy instance.
@@ -99,11 +100,20 @@ def run_trial(
     seed: Optional[int] = None,
     budget: Optional[NodeBudget] = None,
     server: Optional[ServerSpec] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TrialResult:
-    """One policy run on a fresh node, judged by true performance."""
+    """One policy run on a fresh node, judged by true performance.
+
+    With ``telemetry``, the context is installed on the node (so every
+    policy's observation windows are traced) and handed to the policy
+    via :meth:`~repro.schedulers.base.Policy.instrument`.
+    """
     server = server or default_server()
     node = mix.build_node(server=server, seed=seed)
     budget = budget or NodeBudget()
+    if telemetry is not None and telemetry.active:
+        node.telemetry = telemetry
+        policy = policy.instrument(telemetry)
     result = policy.partition(node, budget)
 
     lc_perf: Dict[str, float] = {}

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 from ..core.score import ScoreFunction
 from ..resources.allocation import Configuration
 from ..server.node import Node, NodeBudget, Observation
+from ..telemetry import Telemetry, TelemetrySnapshot
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,9 @@ class PolicyResult:
         evaluations: Configuration evaluations performed outside the
             online trace (ORACLE's offline exhaustive sweep); ``None``
             for online policies.
+        telemetry: Run-scoped telemetry snapshot, for policies that ran
+            with a telemetry context (see :meth:`Policy.instrument`);
+            ``None`` otherwise.
     """
 
     policy: str
@@ -58,6 +62,7 @@ class PolicyResult:
     trace: Tuple[TraceEntry, ...]
     infeasible_jobs: Tuple[str, ...] = ()
     evaluations: Optional[int] = None
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def samples_taken(self) -> int:
@@ -79,6 +84,18 @@ class Policy(ABC):
     @abstractmethod
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
         """Search for a partition of ``node`` within ``budget`` samples."""
+
+    def instrument(self, telemetry: Telemetry) -> "Policy":
+        """Attach a telemetry context; returns ``self`` for chaining.
+
+        The default is a no-op: baselines that have no internal phases
+        still get observed through the node's own instrumentation when
+        the caller installs the context there (see
+        :func:`repro.experiments.runner.run_trial`).  Policies with
+        their own phases (CLITE) override this to thread the context
+        into their engine.
+        """
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -7,6 +7,7 @@ from typing import Optional
 from ..core.engine import CLITEConfig, CLITEEngine
 from ..resources.contracts import policy_contract
 from ..server.node import Node, NodeBudget
+from ..telemetry import Telemetry
 from .base import Policy, PolicyResult, TraceEntry
 
 
@@ -31,6 +32,13 @@ class CLITEPolicy(Policy):
             from dataclasses import replace
 
             self._config = replace(self._config, seed=seed)
+
+    def instrument(self, telemetry: Telemetry) -> "CLITEPolicy":
+        """Thread a telemetry context into the wrapped engine."""
+        from dataclasses import replace
+
+        self._config = replace(self._config, telemetry=telemetry)
+        return self
 
     @policy_contract
     def partition(self, node: Node, budget: NodeBudget) -> PolicyResult:
@@ -59,4 +67,5 @@ class CLITEPolicy(Policy):
             converged=result.converged,
             trace=trace,
             infeasible_jobs=result.infeasible_jobs,
+            telemetry=result.telemetry,
         )

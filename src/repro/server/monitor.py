@@ -16,6 +16,7 @@ from enum import Enum
 from typing import Dict, Optional
 
 from ..resources.allocation import Configuration
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .node import LC_ROLE, Node, Observation
 
 
@@ -50,6 +51,10 @@ class QoSMonitor:
         violation_patience: Number of *consecutive* violating windows
             required before triggering, so a single noisy reading does
             not thrash the optimizer.
+        telemetry: Optional :class:`repro.telemetry.Telemetry` context;
+            checks are then wrapped in ``monitor.check`` spans, checks
+            and triggers counted, and each trigger emits a
+            ``monitor.trigger`` event stamped with simulated node time.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class QoSMonitor:
         node: Node,
         load_change_threshold: float = 0.05,
         violation_patience: int = 2,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if load_change_threshold <= 0:
             raise ValueError("load change threshold must be positive")
@@ -65,6 +71,7 @@ class QoSMonitor:
         self.node = node
         self.load_change_threshold = load_change_threshold
         self.violation_patience = violation_patience
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._baseline_loads: Optional[Dict[str, float]] = None
         self._consecutive_violations = 0
 
@@ -77,6 +84,24 @@ class QoSMonitor:
 
     def check(self, config: Configuration) -> MonitorReport:
         """Take one monitoring window and decide whether to re-invoke."""
+        telemetry = self.telemetry
+        with telemetry.tracer.span("monitor.check") as span:
+            report = self._check(config)
+            span.set("trigger", report.trigger.value)
+        if telemetry.active:
+            telemetry.metrics.counter("monitor.checks").add()
+            if report.reinvoke:
+                telemetry.metrics.counter(
+                    "monitor.triggers", trigger=report.trigger.value
+                ).add()
+                telemetry.tracer.event(
+                    "monitor.trigger",
+                    trigger=report.trigger.value,
+                    node_time_s=report.observation.time_s,
+                )
+        return report
+
+    def _check(self, config: Configuration) -> MonitorReport:
         observation = self.node.observe(config)
         if self._baseline_loads is None:
             self.arm(observation)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..resources.allocation import Configuration, ConfigurationSpace
 from ..resources.isolation import IsolationManager
 from ..resources.spec import CORES, ServerSpec
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..workloads.base import BGWorkload, LCWorkload
 from ..workloads.interference import co_runner_pressure, exerted_pressure
 from ..workloads.latency import capacity_qps, p95_latency_ms
@@ -143,6 +144,13 @@ class Node:
             order works.  Job names must be unique.
         counters: Noise model for measurements (default: 3% log-normal).
         window_s: Observation window (paper default: 2 s).
+        cache_enabled: Memoize noise-free truths per lattice point.
+        telemetry: Optional :class:`repro.telemetry.Telemetry` context;
+            observation windows are then wrapped in ``node.observe``
+            spans, cache traffic and QoS-violation windows are counted,
+            and each violation emits a ``qos.violation`` event.  The
+            attribute is public and reassignable — the engine installs
+            its own context here when it has one.
     """
 
     #: Observation-cache entries kept before new points stop being cached
@@ -156,6 +164,7 @@ class Node:
         counters: Optional[PerformanceCounters] = None,
         window_s: float = DEFAULT_OBSERVATION_PERIOD_S,
         cache_enabled: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not jobs:
             raise ValueError("a node needs at least one job")
@@ -171,6 +180,7 @@ class Node:
         self.window_s = window_s
         self.isolation = IsolationManager(spec)
         self.cache_enabled = cache_enabled
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._clock_s = 0.0
         self._history: List[Observation] = []
         # The simulator is deterministic given a partition and the LC
@@ -322,8 +332,10 @@ class Node:
         truth = self._obs_cache.get(key)
         if truth is not None:
             self._cache_hits += 1
+            self.telemetry.metrics.counter("node.cache.hits").add()
             return truth
         self._cache_misses += 1
+        self.telemetry.metrics.counter("node.cache.misses").add()
         truth = self.true_performance(config, at_time=self._clock_s)
         if len(self._obs_cache) < self.CACHE_MAX_ENTRIES:
             self._obs_cache[key] = truth
@@ -335,35 +347,60 @@ class Node:
         Advances the simulated clock by the window length and appends
         the (noisy) observation to the node's history.
         """
-        self.isolation.apply(config)
-        truth = self._cached_truth(config)
-        noisy_jobs = []
-        for reading in truth.jobs:
-            if reading.role == LC_ROLE:
-                noisy_jobs.append(
-                    replace(
-                        reading,
-                        p95_ms=self.counters.read(reading.p95_ms, self.window_s),
+        with self.telemetry.tracer.span("node.observe") as span:
+            self.isolation.apply(config)
+            truth = self._cached_truth(config)
+            noisy_jobs = []
+            for reading in truth.jobs:
+                if reading.role == LC_ROLE:
+                    noisy_jobs.append(
+                        replace(
+                            reading,
+                            p95_ms=self.counters.read(
+                                reading.p95_ms, self.window_s
+                            ),
+                        )
                     )
-                )
-            else:
-                noisy_jobs.append(
-                    replace(
-                        reading,
-                        throughput_norm=self.counters.read(
-                            reading.throughput_norm, self.window_s
-                        ),
+                else:
+                    noisy_jobs.append(
+                        replace(
+                            reading,
+                            throughput_norm=self.counters.read(
+                                reading.throughput_norm, self.window_s
+                            ),
+                        )
                     )
-                )
-        observation = Observation(
-            config=config,
-            time_s=self._clock_s,
-            window_s=self.window_s,
-            jobs=tuple(noisy_jobs),
-        )
-        self._clock_s += self.window_s
-        self._history.append(observation)
+            observation = Observation(
+                config=config,
+                time_s=self._clock_s,
+                window_s=self.window_s,
+                jobs=tuple(noisy_jobs),
+            )
+            self._clock_s += self.window_s
+            self._history.append(observation)
+            span.set("node_time_s", observation.time_s)
+        self._record_window(observation)
         return observation
+
+    def _record_window(self, observation: Observation) -> None:
+        """Count the window and narrate QoS violations (telemetry only)."""
+        telemetry = self.telemetry
+        if not telemetry.active:
+            return
+        telemetry.metrics.counter("node.observe.windows").add()
+        for reading in observation.lc_jobs:
+            if reading.qos_met:
+                continue
+            telemetry.metrics.counter(
+                "node.qos.violations", job=reading.name
+            ).add()
+            telemetry.tracer.event(
+                "qos.violation",
+                job=reading.name,
+                node_time_s=observation.time_s,
+                p95_ms=round(reading.p95_ms or 0.0, 3),
+                target_ms=round(reading.qos_target_ms or 0.0, 3),
+            )
 
     def advance(self, seconds: float) -> None:
         """Let simulated time pass without taking a sample."""

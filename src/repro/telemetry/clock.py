@@ -1,0 +1,63 @@
+"""Injectable clocks: the one sanctioned wall-clock boundary.
+
+Everything in ``repro.telemetry`` timestamps through a :class:`Clock` so
+the same instrumentation is deterministic in tests (a
+:class:`SimulatedClock` advanced by hand) and measures real elapsed time
+in production runs (a :class:`WallClock`).  This module is the *only*
+place in the package allowed to read the host's wall clock — repro-lint
+RPL104 bans wall-clock reads everywhere else, and its autofix hint
+points here.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """A monotonic time source reporting seconds as a float.
+
+    Implementations must be monotonic (``now()`` never decreases) and
+    cheap — ``now()`` sits on the per-observation hot path.
+    """
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds from an arbitrary origin."""
+
+
+class SimulatedClock(Clock):
+    """A clock that only moves when told to — the deterministic default.
+
+    Tests (and any run where telemetry must not perturb determinism
+    checks) tick it explicitly, so two identical runs see identical
+    timestamps.  Not thread-safe for concurrent ``tick``; concurrent
+    ``now`` reads are fine (a float load is atomic in CPython).
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+
+    def now(self) -> float:
+        return self._now_s
+
+    def tick(self, seconds: float) -> float:
+        """Advance the clock and return the new time."""
+        if seconds < 0:
+            raise ValueError("a clock cannot run backwards")
+        self._now_s += seconds
+        return self._now_s
+
+
+class WallClock(Clock):
+    """Real elapsed time via the host's monotonic performance counter.
+
+    The single sanctioned RPL104 suppression in the package lives here:
+    every real-run timing measurement must route through this class so
+    determinism-sensitive code paths can swap in a
+    :class:`SimulatedClock` without edits.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()  # repro-lint: disable=RPL104

@@ -1,0 +1,135 @@
+"""Exporters: JSONL event streams and Prometheus text format.
+
+The JSONL stream is the interchange format of the subsystem: one JSON
+object per line, ``type`` discriminated (``span`` / ``event`` /
+``metric``), consumed by the ``repro-trace`` CLI and by anything
+downstream that wants structured traces (load replay, dashboards).
+Prometheus text format covers the pull-based monitoring side.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, List, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import Telemetry
+
+#: Prometheus metric names allow neither dots nor leading digits.
+_PROM_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def telemetry_records(
+    telemetry: "Telemetry", spans_since: int = 0
+) -> Iterator[Dict[str, object]]:
+    """Yield every span, event, and metric as a JSON-ready dict.
+
+    Spans come first (finish order), then events (time order), then the
+    registry's metrics — so a streaming reader sees the trace before
+    the summary.
+    """
+    for span in telemetry.tracer.finished(since=spans_since):
+        yield {
+            "type": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start_s": span.start_s,
+            "end_s": span.end_s,
+            "duration_s": span.duration_s,
+            "attributes": dict(span.attributes),
+        }
+    for event in telemetry.tracer.events():
+        yield {
+            "type": "event",
+            "name": event.name,
+            "time_s": event.time_s,
+            "attributes": dict(event.attributes),
+        }
+    for series, data in telemetry.metrics.snapshot().items():
+        record: Dict[str, object] = {"type": "metric", "series": series}
+        record.update(data)
+        yield record
+
+
+def write_jsonl(
+    telemetry: "Telemetry",
+    path: Union[str, Path],
+    spans_since: int = 0,
+) -> int:
+    """Write the telemetry state as JSONL; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in telemetry_records(telemetry, spans_since=spans_since):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file back into record dicts."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})")
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"{path}:{lineno}: not a telemetry record")
+            records.append(record)
+    return records
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_SANITIZE_RE.sub("_", name)
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+    for instrument in registry.instruments():
+        name = _prom_name(instrument.name)  # type: ignore[attr-defined]
+        labels = _prom_labels(instrument.labels)  # type: ignore[attr-defined]
+        if isinstance(instrument, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            cumulative = 0
+            counts = instrument.bucket_counts()
+            for bound, count in zip(instrument.bounds, counts):
+                cumulative += count
+                le = _prom_labels(
+                    tuple(instrument.labels) + (("le", repr(bound)),)
+                )
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            le = _prom_labels(tuple(instrument.labels) + (("le", "+Inf"),))
+            lines.append(f"{name}_bucket{le} {instrument.count}")
+            lines.append(f"{name}_sum{labels} {instrument.sum}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        elif isinstance(instrument, Counter):
+            if name not in typed:
+                lines.append(f"# TYPE {name} counter")
+                typed.add(name)
+            lines.append(f"{name}{labels} {instrument.value}")
+        elif isinstance(instrument, Gauge):
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(f"{name}{labels} {instrument.value}")
+    return "\n".join(lines) + ("\n" if lines else "")

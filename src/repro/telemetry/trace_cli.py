@@ -1,0 +1,178 @@
+"""``repro-trace``: human-readable views of a JSONL telemetry trace.
+
+Subcommands:
+
+* ``summary``  — per-phase time breakdown (span name, count, total,
+  mean, share of traced time) plus trace-level totals;
+* ``timeline`` — the QoS story over time: violation events, monitor
+  triggers, and re-invocations in time order;
+* ``metrics``  — the metric snapshot lines (counters, gauges,
+  histogram quantiles).
+
+Produce traces with ``repro-clite run ... --trace FILE`` or
+:func:`repro.telemetry.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .export import read_jsonl
+
+#: Event names the timeline view knows how to narrate.
+_TIMELINE_EVENTS = {
+    "qos.violation": "QoS VIOLATION",
+    "monitor.trigger": "monitor trigger",
+    "dynamic.reinvocation": "re-invocation",
+}
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1e3:.3f}ms"
+
+
+def cmd_summary(records: List[Dict[str, object]]) -> int:
+    spans = [r for r in records if r["type"] == "span"]
+    events = [r for r in records if r["type"] == "event"]
+    if not spans:
+        print("no spans in trace")
+        return 0
+    phases: Dict[str, List[float]] = {}
+    for span in spans:
+        phases.setdefault(str(span["name"]), []).append(
+            float(span["duration_s"])  # type: ignore[arg-type]
+        )
+    start = min(float(s["start_s"]) for s in spans)  # type: ignore[arg-type]
+    end = max(float(s["end_s"]) for s in spans)  # type: ignore[arg-type]
+    wall = max(end - start, 0.0)
+    rows = []
+    for name, durations in sorted(
+        phases.items(), key=lambda kv: -sum(kv[1])
+    ):
+        total = sum(durations)
+        rows.append(
+            [
+                name,
+                str(len(durations)),
+                _seconds(total),
+                _seconds(total / len(durations)),
+                f"{total / wall:.1%}" if wall > 0 else "-",
+            ]
+        )
+    print(_format_table(["phase", "count", "total", "mean", "of trace"], rows))
+    print(
+        f"\nspans: {len(spans)}   events: {len(events)}   "
+        f"traced time: {_seconds(wall)}"
+    )
+    return 0
+
+
+def _event_time(record: Dict[str, object]) -> float:
+    """Simulated node time when the event carries one, else the stamp.
+
+    Instrumented components attach ``node_time_s`` so the QoS story
+    reads in the server's own timeline even when the tracer runs on a
+    wall clock.
+    """
+    attrs = record.get("attributes") or {}
+    if isinstance(attrs, dict) and "node_time_s" in attrs:
+        return float(attrs["node_time_s"])  # type: ignore[arg-type]
+    return float(record["time_s"])  # type: ignore[arg-type]
+
+
+def cmd_timeline(records: List[Dict[str, object]]) -> int:
+    events = [
+        r
+        for r in records
+        if r["type"] == "event" and str(r["name"]) in _TIMELINE_EVENTS
+    ]
+    if not events:
+        print("no QoS events in trace (telemetry on a violation-free run?)")
+        return 0
+    events.sort(key=_event_time)
+    violations = 0
+    for event in events:
+        name = str(event["name"])
+        attrs = event.get("attributes") or {}
+        detail = "  ".join(
+            f"{key}={value}"
+            for key, value in sorted(attrs.items())  # type: ignore[union-attr]
+            if key != "node_time_s"
+        )
+        print(
+            f"t={_event_time(event):10.2f}s  "
+            f"{_TIMELINE_EVENTS[name]:16s} {detail}"
+        )
+        if name == "qos.violation":
+            violations += 1
+    print(f"\n{violations} QoS-violation window(s), {len(events)} event(s)")
+    return 0
+
+
+def cmd_metrics(records: List[Dict[str, object]]) -> int:
+    metrics = [r for r in records if r["type"] == "metric"]
+    if not metrics:
+        print("no metrics in trace")
+        return 0
+    rows = []
+    for record in sorted(metrics, key=lambda r: str(r["series"])):
+        kind = str(record["kind"])
+        if kind == "histogram":
+            value = (
+                f"count={record['count']} sum={float(record['sum']):.6g} "  # type: ignore[arg-type]
+                f"p50={float(record['p50']):.6g} "  # type: ignore[arg-type]
+                f"p95={float(record['p95']):.6g} "  # type: ignore[arg-type]
+                f"p99={float(record['p99']):.6g}"  # type: ignore[arg-type]
+            )
+        else:
+            value = f"{float(record['value']):.6g}"  # type: ignore[arg-type]
+        rows.append([str(record["series"]), kind, value])
+    print(_format_table(["series", "kind", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render a repro.telemetry JSONL trace for humans",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler, help_text in (
+        ("summary", cmd_summary, "per-phase time breakdown"),
+        ("timeline", cmd_timeline, "QoS violations and re-invocations over time"),
+        ("metrics", cmd_metrics, "counter/gauge/histogram snapshot"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("trace", help="path to a JSONL trace file")
+        command.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+    return args.handler(records)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Fixture: every telemetry rule (RPL501-RPL502) fires here."""
+
+from repro.telemetry import Telemetry
+
+
+def bad_metric_names(telemetry: Telemetry) -> None:
+    telemetry.metrics.counter("Engine.Samples").add()  # RPL501: capitals
+    telemetry.metrics.gauge("node load").set(1.0)  # RPL501: space
+    telemetry.metrics.histogram("9th_window").observe(2.0)  # RPL501: digit first
+
+
+def leaked_span(telemetry: Telemetry):
+    span = telemetry.tracer.span("engine.optimize")  # RPL502: no `with`
+    span.__enter__()
+    return span

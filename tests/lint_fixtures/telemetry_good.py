@@ -1,0 +1,25 @@
+"""Fixture: telemetry used the sanctioned way lints clean."""
+
+from contextlib import ExitStack
+
+from repro.telemetry import Telemetry
+
+
+def instrumented(telemetry: Telemetry) -> None:
+    telemetry.metrics.counter("engine.samples").add()
+    telemetry.metrics.counter("node.qos.violations", job="img-dnn").add()
+    telemetry.metrics.gauge("node.load_fraction").set(0.5)
+    telemetry.metrics.histogram("node.window_ms").observe(3.2)
+    with telemetry.tracer.span("engine.optimize", jobs=2) as span:
+        span.set("qos_met", True)
+
+
+def stacked(telemetry: Telemetry) -> None:
+    with ExitStack() as stack:
+        stack.enter_context(telemetry.tracer.span("cluster.place"))
+
+
+def dynamic_name(telemetry: Telemetry, name: str) -> None:
+    # Non-literal names are a runtime concern (MetricRegistry validates);
+    # the static rule only judges literals.
+    telemetry.metrics.counter(name).add()

@@ -11,6 +11,7 @@ from repro.core import CLITEEngine
 from repro.core.dropout import DropoutCopy
 from repro.core.optimizer import AcquisitionOptimizer
 from repro.core.rng import resolve_rng
+from repro.telemetry import Telemetry
 from test_core_termination_engine import small_engine_config
 
 
@@ -58,11 +59,12 @@ class TestComponentsRequireRng:
         AcquisitionOptimizer(quiet_node.space, rng=0)
 
 
-def run_trajectory(mini_server, seed):
+def run_trajectory(mini_server, seed, telemetry=None):
     node = make_node(
         mini_server, lc_loads=(0.4, 0.3), n_bg=1, noise=0.01, seed=seed
     )
-    result = CLITEEngine(node, small_engine_config(seed=seed)).optimize()
+    config = small_engine_config(seed=seed, telemetry=telemetry)
+    result = CLITEEngine(node, config).optimize()
     return [
         (
             sample.config.as_array().tobytes(),
@@ -86,3 +88,12 @@ class TestBitIdenticalRuns:
         first = run_trajectory(mini_server, seed=11)
         second = run_trajectory(mini_server, seed=12)
         assert first != second
+
+    def test_telemetry_does_not_perturb_the_trajectory(self, mini_server):
+        """Tracing draws no RNG and reads no wall clock, so enabling it
+        must leave the same-seed trajectory bit-identical."""
+        plain = run_trajectory(mini_server, seed=11)
+        traced = run_trajectory(
+            mini_server, seed=11, telemetry=Telemetry.enabled()
+        )
+        assert plain == traced

@@ -173,6 +173,41 @@ class TestNumericsRules:
 
 
 # ----------------------------------------------------------------------
+# Telemetry family
+# ----------------------------------------------------------------------
+class TestTelemetryRules:
+    def test_bad_fixture_triggers_both_rules(self):
+        findings = lint_fixture("telemetry_bad.py")
+        assert sorted(rule_ids(findings)) == [
+            "RPL501",
+            "RPL501",
+            "RPL501",
+            "RPL502",
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("telemetry_good.py") == []
+
+    def test_metric_name_message_quotes_the_literal(self):
+        findings = [
+            f for f in lint_fixture("telemetry_bad.py")
+            if f.rule_id == "RPL501"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert "'Engine.Samples'" in messages
+        assert "'node load'" in messages
+        assert "'9th_window'" in messages
+
+    def test_span_rule_ignores_non_tracer_span_methods(self, tmp_path):
+        snippet = tmp_path / "other_span.py"
+        snippet.write_text(
+            "def f(layout):\n"
+            "    return layout.span(3)\n"  # not a tracer: silent
+        )
+        assert run_lint([snippet], fixture_config()) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions, config, reporters
 # ----------------------------------------------------------------------
 class TestSuppressionsAndConfig:
@@ -247,6 +282,7 @@ class TestRegistryAndRepoTree:
         "RPL201", "RPL202", "RPL203",
         "RPL301", "RPL302", "RPL303", "RPL304",
         "RPL401", "RPL402",
+        "RPL501", "RPL502",
     }
 
     def test_registry_is_complete(self):

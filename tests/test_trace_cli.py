@@ -1,0 +1,102 @@
+"""End-to-end ``repro-trace``: an engine run's JSONL trace renders back
+into the same per-phase breakdown the in-process snapshot reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_node
+from repro.core import CLITEEngine
+from repro.telemetry import Telemetry, write_jsonl
+from repro.telemetry.trace_cli import main
+from test_core_termination_engine import small_engine_config
+
+
+@pytest.fixture
+def traced_run(mini_server, tmp_path):
+    tel = Telemetry.enabled()
+    node = make_node(mini_server, lc_loads=(0.4, 0.3), n_bg=1, seed=3)
+    result = CLITEEngine(
+        node, small_engine_config(seed=3, telemetry=tel)
+    ).optimize()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(tel, path)
+    return tel, result, path
+
+
+class TestSummary:
+    def test_breakdown_matches_snapshot(self, traced_run, capsys):
+        tel, result, path = traced_run
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        snap = result.telemetry
+        for phase, count in snap.phase_counts.items():
+            row = next(
+                line for line in out.splitlines() if line.startswith(phase)
+            )
+            assert row.split()[1] == str(count)
+        assert f"spans: {snap.span_count}" in out
+
+    def test_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["summary", str(path)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+
+class TestTimeline:
+    def test_events_render_in_node_time_order(self, tmp_path, capsys):
+        tel = Telemetry.enabled()
+        # deliberately emitted out of node-time order
+        tel.tracer.event(
+            "qos.violation", job="b", node_time_s=20.0, p95_ms=9.1
+        )
+        tel.tracer.event(
+            "qos.violation", job="a", node_time_s=10.0, p95_ms=8.2
+        )
+        tel.tracer.event("monitor.trigger", trigger="load_change",
+                         node_time_s=15.0)
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tel, path)
+        assert main(["timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("t=")]
+        assert "job=a" in lines[0]
+        assert "trigger=load_change" in lines[1]
+        assert "job=b" in lines[2]
+        assert "2 QoS-violation window(s), 3 event(s)" in out
+
+    def test_violation_free_trace(self, traced_run, capsys):
+        _, result, path = traced_run
+        code = main(["timeline", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        if result.qos_met and not result.telemetry.event_count:
+            assert "no QoS events" in out
+
+
+class TestMetrics:
+    def test_counters_render(self, traced_run, capsys):
+        tel, result, path = traced_run
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.samples" in out
+        assert f"{float(result.samples_taken):.6g}" in out
+
+    def test_metric_free_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(Telemetry.enabled(), path)
+        assert main(["metrics", str(path)]) == 0
+        assert "no metrics" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro-trace:" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        assert main(["timeline", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
