@@ -40,7 +40,7 @@ from repro.core.optimizer import AcquisitionOptimizer
 from repro.experiments import MixSpec
 from repro.schedulers import CLITEPolicy
 from repro.server import NodeBudget
-from repro.telemetry import WallClock
+from repro.telemetry import Telemetry, WallClock
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -79,13 +79,22 @@ BASELINE = {
 }
 
 
-def bench_end_to_end(seeds=(0, 1), budget_units=80):
-    """Full CLITEPolicy.partition runs; the headline iterations/sec."""
+def bench_end_to_end(seeds=(0, 1), budget_units=80, enable_telemetry=False):
+    """Full CLITEPolicy.partition runs; the headline iterations/sec.
+
+    With ``enable_telemetry`` every run gets a live wall-clock
+    :class:`Telemetry` threaded through the engine, so the rate measures
+    the *enabled* path — spans, counters, and histogram observes all
+    active — instead of the null-object fast path.
+    """
     samples = 0
     t0 = CLOCK.now()
     for seed in seeds:
         node = MIX.build_node(seed=seed)
-        result = CLITEPolicy(seed=seed).partition(node, NodeBudget(budget_units))
+        policy = CLITEPolicy(seed=seed)
+        if enable_telemetry:
+            policy = policy.instrument(Telemetry.enabled(clock=WallClock()))
+        result = policy.partition(node, NodeBudget(budget_units))
         samples += len(result.trace)
     dt = CLOCK.now() - t0
     return {"samples": samples, "seconds": dt, "iterations_per_sec": samples / dt}
@@ -162,6 +171,14 @@ def speedups(current):
 #: path), not single-digit drift.
 CHECK_THRESHOLD = 0.70
 
+#: ``--check`` also budgets the *enabled*-telemetry path: the measured
+#: enabled/disabled rate ratio must stay within 10% of the tracked
+#: ratio from ``BENCH_perf.json``.  Comparing ratios (both rates from
+#: the same run) keeps the budget machine-independent — a slower CI box
+#: slows both paths alike, but telemetry overhead creeping into spans
+#: or counters drags only the enabled rate down.
+ENABLED_BUDGET = 0.90
+
 
 def check_regression(current) -> int:
     """Compare quick-mode rates against the tracked full-run numbers."""
@@ -178,7 +195,29 @@ def check_regression(current) -> int:
         f"{reference:.1f} it/s (x{ratio:.2f}, floor x{CHECK_THRESHOLD}): "
         f"{verdict}"
     )
-    return 0 if ratio >= CHECK_THRESHOLD else 1
+    failed = ratio < CHECK_THRESHOLD
+
+    tracked_enabled = tracked["current"].get("end_to_end_enabled")
+    if tracked_enabled is None:
+        print("check: no tracked end_to_end_enabled section; enabled budget skipped")
+    else:
+        tracked_overhead = (
+            tracked_enabled["iterations_per_sec"]
+            / tracked["current"]["end_to_end"]["iterations_per_sec"]
+        )
+        measured_overhead = (
+            current["end_to_end_enabled"]["iterations_per_sec"]
+            / current["end_to_end"]["iterations_per_sec"]
+        )
+        floor = tracked_overhead * ENABLED_BUDGET
+        enabled_verdict = "ok" if measured_overhead >= floor else "REGRESSION"
+        print(
+            f"check: enabled/disabled ratio x{measured_overhead:.2f} vs tracked "
+            f"x{tracked_overhead:.2f} (floor x{floor:.2f}): {enabled_verdict}"
+        )
+        failed = failed or measured_overhead < floor
+
+    return 1 if failed else 0
 
 
 def main() -> int:
@@ -192,19 +231,25 @@ def main() -> int:
         "--check",
         action="store_true",
         help="quick workloads + fail (exit 1) if iterations/sec drops "
-        f"more than {1 - CHECK_THRESHOLD:.0%} below BENCH_perf.json",
+        f"more than {1 - CHECK_THRESHOLD:.0%} below BENCH_perf.json, or if "
+        f"the enabled-telemetry rate ratio regresses more than "
+        f"{1 - ENABLED_BUDGET:.0%}",
     )
     args = parser.parse_args()
 
     if args.quick or args.check:
         current = {
             "end_to_end": bench_end_to_end(seeds=(0,), budget_units=25),
+            "end_to_end_enabled": bench_end_to_end(
+                seeds=(0,), budget_units=25, enable_telemetry=True
+            ),
             "propose": bench_propose(n=3, warmup_iterations=6),
             "gp": bench_gp(n_train=20, reps=5),
         }
     else:
         current = {
             "end_to_end": bench_end_to_end(),
+            "end_to_end_enabled": bench_end_to_end(enable_telemetry=True),
             "propose": bench_propose(),
             "gp": bench_gp(),
         }

@@ -4,9 +4,17 @@ The thread-safety family needs to know which functions can execute on a
 worker thread: everything transitively callable from a function handed
 to ``Executor.submit``/``Executor.map``.  This pass builds a syntactic
 call graph with a small, deliberately conservative type inferencer —
-parameter annotations, ``x = Ctor(...)`` locals, and annotated return
-types — which is enough to follow chains like
-``node_state.build_node(...)`` → ``CLITEEngine(node, cfg).optimize()``.
+parameter annotations (including string annotations and
+``Optional[...]`` unwrapping), ``x = Ctor(...)`` locals with
+re-assignment, instance-attribute types harvested from class bodies and
+``self.x = ...`` writes, and annotated return types — which is enough to
+follow chains like ``node_state.build_node(...)`` →
+``CLITEEngine(node, cfg).optimize()`` or
+``tel.metrics.counter(...).add(...)``.
+
+The interprocedural dataflow pass (:mod:`.dataflow`, RPL6xx) reuses the
+same :class:`FunctionScanner` resolution machinery, so both layers see
+one consistent view of the project's types.
 """
 
 from __future__ import annotations
@@ -26,20 +34,32 @@ def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
     if annotation is None:
         return None
     if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
-        # String annotation: take the rightmost identifier.
-        text = annotation.value.strip().strip('"')
-        return text.split("[")[0].split(".")[-1] or None
+        # String annotation: parse it and recurse, so "Optional[Node]"
+        # unwraps the same way the unquoted form does.
+        try:
+            parsed = ast.parse(annotation.value.strip(), mode="eval")
+        except SyntaxError:
+            return None
+        return _annotation_class(parsed.body)
     if isinstance(annotation, ast.Name):
         return annotation.id
     if isinstance(annotation, ast.Attribute):
         return annotation.attr
     if isinstance(annotation, ast.Subscript):
-        # Optional[T] / List[T]: look inside one level for a lone class.
+        # Optional[T] / Union[T, None] / List[T]: unwrap to the lone class.
         base = _annotation_class(annotation.value)
-        if base in {"Optional"} and isinstance(
-            annotation.slice, (ast.Name, ast.Attribute, ast.Constant)
-        ):
+        if base == "Optional":
             return _annotation_class(annotation.slice)
+        if base == "Union" and isinstance(annotation.slice, ast.Tuple):
+            members = [
+                _annotation_class(e)
+                for e in annotation.slice.elts
+                if not (isinstance(e, ast.Constant) and e.value is None)
+            ]
+            members = [m for m in members if m is not None and m != "None"]
+            if len(set(members)) == 1:
+                return members[0]
+            return None
         return base
     return None
 
@@ -53,6 +73,24 @@ class CallGraph:
     pool_entrypoints: Set[str] = field(default_factory=set)
     #: function key -> parameter name -> simple class name
     param_types: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: (class name, attribute) -> simple class name of the attribute
+    attr_types: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def attr_type(self, class_name: str, attr: str) -> Optional[str]:
+        """Type of ``class_name.attr``, walking base classes by name."""
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            found = self.attr_types.get((current, attr))
+            if found is not None:
+                return found
+            for cls in self.project.classes_by_name.get(current, ()):
+                queue.extend(cls.base_names)
+        return None
 
     def reachable_from(
         self, entry_keys: Set[str]
@@ -73,34 +111,70 @@ class CallGraph:
         return paths
 
 
-class _FunctionScanner(ast.NodeVisitor):
-    """Collects call edges and local types inside one function body."""
+class FunctionScanner(ast.NodeVisitor):
+    """Collects call edges and local types inside one function body.
+
+    Also the project's shared expression-type oracle: the dataflow pass
+    (:mod:`.dataflow`) instantiates one per function to resolve call
+    targets and receiver types with the same rules the call graph uses.
+    ``fn`` may be ``None`` for module-level code (no parameters, no
+    ``self``).
+    """
 
     def __init__(
-        self, graph: CallGraph, fn: FunctionInfo, module: ModuleInfo
+        self,
+        graph: CallGraph,
+        fn: Optional[FunctionInfo],
+        module: ModuleInfo,
     ) -> None:
         self.graph = graph
         self.project = graph.project
         self.fn = fn
         self.module = module
         self.local_types: Dict[str, str] = dict(
-            graph.param_types.get(fn.key, {})
+            graph.param_types.get(fn.key, {}) if fn is not None else {}
         )
         self.callees: Set[str] = set()
 
     # -- type bookkeeping ------------------------------------------------
+    def _record_self_attr(self, attr: str, inferred: Optional[str]) -> None:
+        if (
+            inferred is not None
+            and self.fn is not None
+            and self.fn.class_name is not None
+        ):
+            self.graph.attr_types.setdefault(
+                (self.fn.class_name, attr), inferred
+            )
+
     def visit_Assign(self, node: ast.Assign) -> None:
-        inferred = self._call_result_type(node.value)
-        if inferred is not None:
-            for target in node.targets:
-                if isinstance(target, ast.Name):
+        inferred = self._value_type(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if inferred is not None:
                     self.local_types[target.id] = inferred
+                else:
+                    # Re-assignment to something untypeable invalidates
+                    # whatever the local held before.
+                    self.local_types.pop(target.id, None)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self._record_self_attr(target.attr, inferred)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         cls = _annotation_class(node.annotation)
         if isinstance(node.target, ast.Name) and cls is not None:
             self.local_types[node.target.id] = cls
+        elif (
+            isinstance(node.target, ast.Attribute)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id == "self"
+        ):
+            self._record_self_attr(node.target.attr, cls)
         self.generic_visit(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -210,11 +284,33 @@ class _FunctionScanner(ast.NodeVisitor):
         return None
 
     def _value_type(self, node: ast.AST) -> Optional[str]:
-        """Type of an attribute-call receiver, when inferable."""
+        """Type of an arbitrary expression, when inferable.
+
+        Covers names (parameters, annotated or constructor-assigned
+        locals, including re-assignments), call results, conditional
+        expressions, and attribute chains typed through
+        :attr:`CallGraph.attr_types` (``self.telemetry.metrics`` →
+        ``MetricRegistry``).
+        """
         if isinstance(node, ast.Name):
+            if node.id == "self" and self.fn is not None and self.fn.class_name:
+                return self.local_types.get(node.id, self.fn.class_name)
             return self.local_types.get(node.id)
         if isinstance(node, ast.Call):
             return self._call_result_type(node)
+        if isinstance(node, ast.IfExp):
+            return self._value_type(node.body) or self._value_type(node.orelse)
+        if isinstance(node, ast.Attribute):
+            receiver = self._value_type(node.value)
+            if receiver is not None:
+                found = self.graph.attr_type(receiver, node.attr)
+                if found is not None:
+                    return found
+            # A dotted reference to a project class (module.ClassName)
+            # types as the class itself is not modelled; give up.
+            return None
+        if isinstance(node, ast.Await):
+            return self._value_type(node.value)
         return None
 
     def _resolve_call_targets(self, node: ast.Call) -> List[str]:
@@ -250,7 +346,11 @@ class _FunctionScanner(ast.NodeVisitor):
         # self.method() / var.method() with an inferred receiver type.
         receiver = self._value_type(func.value)
         if receiver is None and isinstance(func.value, ast.Name):
-            if func.value.id == "self" and self.fn.class_name is not None:
+            if (
+                func.value.id == "self"
+                and self.fn is not None
+                and self.fn.class_name is not None
+            ):
                 receiver = self.fn.class_name
         if receiver is not None:
             method = self.project.lookup_method(receiver, func.attr)
@@ -267,11 +367,15 @@ class _FunctionScanner(ast.NodeVisitor):
 
 
 def build_callgraph(project: Project) -> CallGraph:
-    """Construct the project call graph in two passes.
+    """Construct the project call graph in three passes.
 
     Pass 1 records parameter types for every function (so scans can
-    type ``self`` and annotated parameters); pass 2 walks every body
-    collecting edges and ``Executor.submit`` targets.
+    type ``self`` and annotated parameters) plus class-body field
+    annotations; pass 2 scans every body once to harvest instance-
+    attribute types from ``self.x = ...`` writes; pass 3 re-walks the
+    bodies collecting edges and ``Executor.submit`` targets with the
+    full attribute-type table available, so attribute-chain receivers
+    (``tel.metrics.counter(...)``) resolve regardless of scan order.
     """
     graph = CallGraph(project=project)
     for fn in project.iter_functions():
@@ -285,10 +389,22 @@ def build_callgraph(project: Project) -> CallGraph:
         if all_args and all_args[0].arg == "self" and fn.class_name:
             params["self"] = fn.class_name
         graph.param_types[fn.key] = params
-    for fn in project.iter_functions():
-        module = project.modules[fn.module]
-        scanner = _FunctionScanner(graph, fn, module)
-        for statement in fn.node.body:
-            scanner.visit(statement)
-        graph.edges[fn.key] = scanner.callees
+    for cls_info in project.iter_classes():
+        for item in cls_info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                annotated = _annotation_class(item.annotation)
+                if annotated is not None:
+                    graph.attr_types.setdefault(
+                        (cls_info.name, item.target.id), annotated
+                    )
+    for collect_edges in (False, True):
+        for fn in project.iter_functions():
+            module = project.modules[fn.module]
+            scanner = FunctionScanner(graph, fn, module)
+            for statement in fn.node.body:
+                scanner.visit(statement)
+            if collect_edges:
+                graph.edges[fn.key] = scanner.callees
     return graph

@@ -53,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="Comma-separated rule IDs to skip.",
     )
     parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "File or directory to skip during discovery (repeatable); "
+            "e.g. --exclude tests/lint_fixtures."
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="Print the rule catalog and exit.",
@@ -112,7 +122,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     engine = LintEngine(config)
     try:
-        project = engine.build_project(paths)
+        project = engine.build_project(paths, exclude=args.exclude)
     except (FileNotFoundError, SyntaxError) as error:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2

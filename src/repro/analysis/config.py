@@ -45,6 +45,14 @@ class LintConfig:
             ``@partition_contract``.
         frozen_key_classes: Dataclass names that are used as dict/cache
             keys and therefore must be declared ``frozen=True``.
+        guarded_classes: Class names whose instances are shared across
+            threads *by design* and protect themselves with an internal
+            lock; RPL603 requires every attribute write in their methods
+            to hold a lock on all paths.  Distinct from ``shared_types``
+            (read-only under the pool, RPL201's domain).
+        clock_classes: Extra class names (beyond ``Clock`` subclasses
+            discovered structurally) whose instances are sanctioned time
+            sources for RPL602.
     """
 
     select: Tuple[str, ...] = ()
@@ -69,6 +77,14 @@ class LintConfig:
         "Resource",
         "ServerSpec",
     )
+    guarded_classes: Tuple[str, ...] = (
+        "MetricRegistry",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "Tracer",
+    )
+    clock_classes: Tuple[str, ...] = ()
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

@@ -17,8 +17,25 @@ from .model import Finding, all_rules
 from .project import ModuleInfo, Project, parse_module
 
 
-def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
-    """Every ``.py`` file under the given files/directories, sorted."""
+def discover_files(
+    paths: Sequence[Union[str, Path]],
+    exclude: Sequence[Union[str, Path]] = (),
+) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    ``exclude`` entries are files or directory prefixes (resolved); any
+    discovered file equal to or underneath one is dropped — how CI
+    lints ``tests/`` while skipping the deliberately-broken
+    ``tests/lint_fixtures/`` corpus.
+    """
+    excluded = [Path(raw).resolve() for raw in exclude]
+
+    def is_excluded(resolved: Path) -> bool:
+        return any(
+            resolved == entry or entry in resolved.parents
+            for entry in excluded
+        )
+
     files: List[Path] = []
     for raw in paths:
         path = Path(raw)
@@ -32,7 +49,7 @@ def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     seen = set()
     for path in files:
         resolved = path.resolve()
-        if resolved not in seen:
+        if resolved not in seen and not is_excluded(resolved):
             seen.add(resolved)
             unique.append(path)
     return unique
@@ -45,10 +62,12 @@ class LintEngine:
         self.config = config
 
     def build_project(
-        self, paths: Sequence[Union[str, Path]]
+        self,
+        paths: Sequence[Union[str, Path]],
+        exclude: Sequence[Union[str, Path]] = (),
     ) -> Project:
         modules: List[ModuleInfo] = []
-        for path in discover_files(paths):
+        for path in discover_files(paths, exclude=exclude):
             modules.append(parse_module(path, display_path=str(path)))
         return Project(modules)
 
@@ -82,6 +101,7 @@ class LintEngine:
 def run_lint(
     paths: Sequence[Union[str, Path]],
     config: Optional[LintConfig] = None,
+    exclude: Sequence[Union[str, Path]] = (),
 ) -> List[Finding]:
     """Lint ``paths`` and return the surviving findings.
 
@@ -94,5 +114,5 @@ def run_lint(
     if config is None:
         config = load_config(Path(paths[0]))
     engine = LintEngine(config)
-    project = engine.build_project(paths)
+    project = engine.build_project(paths, exclude=exclude)
     return engine.run(project)

@@ -16,6 +16,7 @@ THREAD_SAFETY = "thread-safety"
 CONTRACTS = "contracts"
 NUMERICS = "numerics"
 TELEMETRY = "telemetry"
+DATAFLOW = "dataflow"
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
     # registry is complete no matter which module was imported first.
     from . import (  # noqa: F401
         rules_contracts,
+        rules_dataflow,
         rules_determinism,
         rules_numerics,
         rules_telemetry,

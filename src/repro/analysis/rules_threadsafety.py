@@ -14,8 +14,9 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .callgraph import build_callgraph
+from .callgraph import CallGraph
 from .config import LintConfig
+from .dataflow import compute_locksets, pool_entry_keys, shared_callgraph
 from .model import THREAD_SAFETY, Finding, Rule, register
 from .project import FunctionInfo, Project
 
@@ -52,17 +53,13 @@ class SharedStateMutation(Rule):
         "Build private state inside the worker (copy, or construct via "
         "ClusterNode.build_node) and return results instead of writing "
         "to shared inputs; move shared-cache writes behind the serial "
-        "caller."
+        "caller. Lock-guarded writes are RPL603's domain and are not "
+        "flagged here."
     )
 
     def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
-        graph = build_callgraph(project)
-        entries: Set[str] = set(graph.pool_entrypoints)
-        for dotted in config.entrypoints:
-            module_name, _, func = dotted.rpartition(".")
-            module = project.modules.get(module_name)
-            if module is not None and func in module.functions:
-                entries.add(module.functions[func].key)
+        graph = shared_callgraph(project)
+        entries: Set[str] = pool_entry_keys(project, graph, config)
         if not entries:
             return
         reachable = graph.reachable_from(entries)
@@ -76,7 +73,7 @@ class SharedStateMutation(Rule):
     def _check_function(
         self,
         project: Project,
-        graph,
+        graph: CallGraph,
         fn: FunctionInfo,
         shared: Set[str],
         path: Tuple[str, ...],
@@ -94,6 +91,7 @@ class SharedStateMutation(Rule):
         }
         entry = path[0].split(":")[-1]
         via = " -> ".join(p.split(":")[-1] for p in path)
+        locksets = compute_locksets(graph, fn)
 
         def describe(kind: str, what: str) -> str:
             return (
@@ -102,6 +100,10 @@ class SharedStateMutation(Rule):
             )
 
         for node in ast.walk(fn.node):
+            if locksets.held_at(node):
+                # Deliberately synchronized write: lock discipline on
+                # shared objects is RPL603's domain, not a finding here.
+                continue
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
                 targets = (
                     node.targets

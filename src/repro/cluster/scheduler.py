@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.engine import CLITEConfig, CLITEEngine
 from ..resources.contracts import placement_contract
+from ..sanitizer.hooks import register_shared
 from ..server.node import NodeBudget
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
@@ -105,6 +106,10 @@ def verify_nodes(
             state.index: verify_node(state, engine_config, seed, telemetry)
             for state in states
         }
+    for state in states:
+        # No-op unless repro-san is active: workers read these states
+        # concurrently, so the sanitizer should see every access.
+        register_shared(state, name=f"ClusterNode[{state.index}]")
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         futures = {
             state.index: pool.submit(

@@ -1,0 +1,46 @@
+"""repro-san: runtime race and determinism sanitizer.
+
+Layer 2 of the correctness tooling (layer 1 is the static RPL6xx
+dataflow family in :mod:`repro.analysis`).  Shadow-instruments shared
+objects to detect lock-discipline violations TSan-style at runtime, and
+probes callables for hash-order-dependent output across
+``PYTHONHASHSEED`` universes.
+
+Usage::
+
+    from repro.sanitizer import instrument
+
+    with instrument(registry, cache) as san:
+        run_workload()
+    assert san.races() == []
+
+Production code registers its shared objects through
+:func:`register_shared`, which is a no-op (a single ``None`` check)
+unless a sanitizer is active.
+"""
+
+from .hashorder import (
+    DEFAULT_HASH_SEEDS,
+    ProbeError,
+    ProbeResult,
+    diff_outputs,
+    hash_order_probe,
+)
+from .hooks import activate, active_sanitizer, deactivate, register_shared
+from .shadow import AccessRecord, RaceReport, Sanitizer, instrument
+
+__all__ = [
+    "AccessRecord",
+    "DEFAULT_HASH_SEEDS",
+    "ProbeError",
+    "ProbeResult",
+    "RaceReport",
+    "Sanitizer",
+    "activate",
+    "active_sanitizer",
+    "deactivate",
+    "diff_outputs",
+    "hash_order_probe",
+    "instrument",
+    "register_shared",
+]

@@ -1,0 +1,143 @@
+"""``repro-san`` — runtime race and determinism sanitizer CLI.
+
+Two subcommands:
+
+``repro-san stress``
+    Builds a small cluster and runs the real ``verify_nodes`` thread
+    pool with a live telemetry stack under the sanitizer, reporting any
+    lockset-empty conflicting access pairs.  This is the dynamic
+    counterpart of the static RPL603 lockset rule: the linter proves
+    the lock discipline of the code it can see; the sanitizer checks
+    the discipline actually held at runtime.
+
+``repro-san probe pkg.module:function``
+    Runs the target once per ``PYTHONHASHSEED`` universe in fresh
+    subprocesses and diffs the trajectories, catching hash-order-
+    dependent iteration that same-process tests cannot observe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .hashorder import DEFAULT_HASH_SEEDS, ProbeError, diff_outputs, hash_order_probe
+from .shadow import instrument
+
+
+def _stress(args: argparse.Namespace) -> int:
+    # Imported lazily so `repro-san probe` works without pulling in the
+    # full engine stack (numpy/scipy).
+    from repro.cluster.scheduler import verify_nodes
+    from repro.cluster.state import ClusterNode, JobRequest
+    from repro.core.engine import CLITEConfig
+    from repro.resources import small_server
+    from repro.telemetry import Telemetry
+    from repro.workloads import bg_workload, lc_workload
+
+    spec = small_server(units=6, n_resources=3)
+    lc = lc_workload("memcached", server=spec)
+    bg = bg_workload("canneal")
+    states = []
+    for i in range(args.nodes):
+        states.append(
+            ClusterNode(i, spec)
+            .with_request(JobRequest(lc, 0.3, name=f"svc-{i}"))
+            .with_request(JobRequest(bg, name=f"batch-{i}"))
+        )
+    engine_config = CLITEConfig(
+        max_iterations=args.iterations,
+        post_qos_iterations=2,
+        refine_budget=3,
+        confirm_top=1,
+        n_restarts=2,
+    )
+    telemetry = Telemetry()  # live registry + tracer: real shared state
+    with instrument(
+        telemetry.metrics, telemetry.tracer, names=("MetricRegistry", "Tracer")
+    ) as sanitizer:
+        for state in states:
+            sanitizer.watch(state, name=f"ClusterNode[{state.index}]")
+        reports = verify_nodes(
+            states,
+            engine_config,
+            seed=args.seed,
+            max_workers=args.workers,
+            telemetry=telemetry,
+        )
+        races = sanitizer.races()
+        n_access = len(sanitizer.accesses())
+    print(
+        f"repro-san stress: {len(reports)} node(s) verified on "
+        f"{args.workers} worker(s); {n_access} access pattern(s) recorded"
+    )
+    if races:
+        for race in races:
+            print(f"  RACE {race.describe()}")
+        print(f"repro-san: {len(races)} race(s) detected")
+        return 1
+    print("repro-san: no races detected")
+    return 0
+
+
+def _probe(args: argparse.Namespace) -> int:
+    seeds = tuple(int(s) for s in args.hash_seeds.split(","))
+    try:
+        result = hash_order_probe(args.target, hash_seeds=seeds)
+    except (ProbeError, ValueError) as exc:
+        print(f"repro-san: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    if not result.deterministic:
+        for line in diff_outputs(result):
+            print(f"  {line}")
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-san",
+        description="Runtime race and hash-order determinism sanitizer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stress = sub.add_parser(
+        "stress",
+        help="run the verify_nodes thread pool under the sanitizer",
+    )
+    stress.add_argument("--nodes", type=int, default=4)
+    stress.add_argument("--workers", type=int, default=4)
+    stress.add_argument("--seed", type=int, default=0)
+    stress.add_argument(
+        "--iterations", type=int, default=6,
+        help="engine iterations per node (keep small; this is a probe)",
+    )
+    stress.set_defaults(func=_stress)
+
+    probe = sub.add_parser(
+        "probe",
+        help="diff a callable's output across PYTHONHASHSEED universes",
+    )
+    probe.add_argument(
+        "target", help="import target, e.g. repro.experiments.demo:trajectory"
+    )
+    probe.add_argument(
+        "--hash-seeds",
+        default=",".join(str(s) for s in DEFAULT_HASH_SEEDS),
+        help="comma-separated PYTHONHASHSEED values (default: 0,1)",
+    )
+    probe.set_defaults(func=_probe)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Hash-order determinism probe.
+
+CPython randomises ``str``/``bytes`` hashing per process
+(``PYTHONHASHSEED``), so any code whose output depends on set or dict
+*iteration order over strings* produces different trajectories in
+different processes — the classic silent-nondeterminism bug that
+same-process regression tests can never catch, because a test and its
+expectation share one hash seed.
+
+:func:`hash_order_probe` runs a target callable once per configured
+hash seed in a fresh subprocess and diffs the ``repr`` of the results:
+a determinism claim holds only if every hash universe agrees.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+DEFAULT_HASH_SEEDS: Tuple[int, ...] = (0, 1)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outputs of one target under several hash universes."""
+
+    target: str
+    outputs: Dict[int, str]
+
+    @property
+    def deterministic(self) -> bool:
+        return len(set(self.outputs.values())) <= 1
+
+    def describe(self) -> str:
+        if self.deterministic:
+            seeds = ", ".join(str(s) for s in sorted(self.outputs))
+            return (
+                f"{self.target}: identical output under "
+                f"PYTHONHASHSEED in ({seeds})"
+            )
+        lines = [f"{self.target}: output DIFFERS across hash seeds"]
+        for seed in sorted(self.outputs):
+            text = self.outputs[seed]
+            preview = text if len(text) <= 160 else text[:157] + "..."
+            lines.append(f"  PYTHONHASHSEED={seed}: {preview}")
+        return "\n".join(lines)
+
+
+class ProbeError(RuntimeError):
+    """The probed target crashed in a subprocess."""
+
+
+def _runner_source(module: str, func: str) -> str:
+    return (
+        "import importlib\n"
+        f"mod = importlib.import_module({module!r})\n"
+        f"fn = getattr(mod, {func!r})\n"
+        "print(repr(fn()))\n"
+    )
+
+
+def hash_order_probe(
+    target: str,
+    hash_seeds: Sequence[int] = DEFAULT_HASH_SEEDS,
+    timeout_s: float = 300.0,
+) -> ProbeResult:
+    """Run ``module:function`` under each hash seed and diff outputs.
+
+    The function must be importable, take no arguments, and return a
+    value whose ``repr`` captures the trajectory being checked (e.g.
+    a list of per-iteration scores).  Raises :class:`ProbeError` if any
+    run crashes.
+    """
+    module, sep, func = target.partition(":")
+    if not sep or not module or not func:
+        raise ValueError(
+            f"target must look like 'package.module:function', got {target!r}"
+        )
+    source = _runner_source(module, func)
+    outputs: Dict[int, str] = {}
+    for seed in hash_seeds:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(seed)
+        # The child must resolve the same packages as this process even
+        # when repro is used from a source checkout (PYTHONPATH=src).
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] + [env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        proc = subprocess.run(
+            [sys.executable, "-c", source],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=timeout_s,
+        )
+        if proc.returncode != 0:
+            raise ProbeError(
+                f"probe target {target!r} failed under "
+                f"PYTHONHASHSEED={seed}:\n{proc.stderr.strip()}"
+            )
+        outputs[seed] = proc.stdout.strip()
+    return ProbeResult(target=target, outputs=outputs)
+
+
+def diff_outputs(result: ProbeResult) -> List[str]:
+    """Unified-style diff lines between the first two differing runs."""
+    import difflib
+
+    seeds = sorted(result.outputs)
+    for i, a in enumerate(seeds):
+        for b in seeds[i + 1:]:
+            if result.outputs[a] != result.outputs[b]:
+                return list(
+                    difflib.unified_diff(
+                        result.outputs[a].splitlines(),
+                        result.outputs[b].splitlines(),
+                        fromfile=f"PYTHONHASHSEED={a}",
+                        tofile=f"PYTHONHASHSEED={b}",
+                        lineterm="",
+                    )
+                )
+    return []

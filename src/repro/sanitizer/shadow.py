@@ -1,0 +1,280 @@
+"""TSan-style shadow instrumentation for shared Python objects.
+
+:class:`Sanitizer` rewrites a watched object's ``__class__`` to a
+generated shadow subclass whose ``__getattribute__``/``__setattr__``
+record ``(thread, field, lockset)`` access tuples.  Locks stored on the
+object (``threading.Lock``/``RLock`` attributes, or any attribute named
+in ``lock_attrs``) are replaced with instrumented wrappers that keep a
+per-thread held-set, so every recorded access knows exactly which locks
+the accessing thread held.
+
+A data race, reported by :meth:`Sanitizer.races`, is a pair of accesses
+to the same field from two different threads where at least one access
+is a write and the two locksets are disjoint — the classic happens-
+before-free definition specialised to lock discipline, which is the
+only synchronisation idiom this codebase uses.
+
+Recording is field-granular and deduplicated by ``(thread, kind,
+lockset)``, so memory stays bounded no matter how hot the access loop
+is; values are never copied or compared, which keeps same-seed runs
+bit-identical with the sanitizer enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+#: Lock types eligible for automatic instrumentation.
+_LOCK_TYPES = (
+    type(threading.Lock()),
+    type(threading.RLock()),
+)
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One deduplicated access pattern to a watched field."""
+
+    obj_name: str
+    fld: str
+    thread: str
+    kind: str  # "read" | "write"
+    lockset: FrozenSet[str]
+    count: int = 1
+
+    def describe(self) -> str:
+        held = ", ".join(sorted(self.lockset)) or "no locks"
+        return (
+            f"{self.kind} of {self.obj_name}.{self.fld} on thread "
+            f"{self.thread} holding {held} (x{self.count})"
+        )
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting accesses with no common lock."""
+
+    obj_name: str
+    fld: str
+    first: AccessRecord
+    second: AccessRecord
+
+    def describe(self) -> str:
+        return (
+            f"data race on {self.obj_name}.{self.fld}: "
+            f"[{self.first.describe()}] vs [{self.second.describe()}]"
+        )
+
+
+class _InstrumentedLock:
+    """Delegating lock wrapper that maintains the per-thread held-set."""
+
+    def __init__(self, sanitizer: "Sanitizer", token: str, inner: Any) -> None:
+        self._sanitizer = sanitizer
+        self._token = token
+        self._inner = inner
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            self._sanitizer._held().add(self._token)
+        return bool(acquired)
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer._held().discard(self._token)
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> "_InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class Sanitizer:
+    """Records cross-thread accesses on watched objects, finds races."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        #: (obj_name, field) -> {(thread, kind, lockset) -> count}
+        self._records: Dict[
+            Tuple[str, str], Dict[Tuple[str, str, FrozenSet[str]], int]
+        ] = {}
+        #: restore info: (object, original class, {attr: original lock})
+        self._watched: List[Tuple[object, type, Dict[str, object]]] = []
+        self._names: Dict[int, str] = {}
+
+    # -- thread-local state ---------------------------------------------
+    def _held(self) -> set:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = set()
+            self._tls.held = held
+        return held
+
+    def _recording(self) -> bool:
+        return not getattr(self._tls, "busy", False)
+
+    # -- recording -------------------------------------------------------
+    def _record(self, obj_name: str, fld: str, kind: str) -> None:
+        self._tls.busy = True
+        try:
+            key = (
+                threading.current_thread().name,
+                kind,
+                frozenset(self._held()),
+            )
+            with self._lock:
+                per_field = self._records.setdefault((obj_name, fld), {})
+                per_field[key] = per_field.get(key, 0) + 1
+        finally:
+            self._tls.busy = False
+
+    # -- watching --------------------------------------------------------
+    def watch(
+        self,
+        obj: object,
+        name: Optional[str] = None,
+        lock_attrs: Sequence[str] = (),
+    ) -> object:
+        """Shadow-instrument ``obj`` in place and return it.
+
+        ``lock_attrs`` names lock-holding attributes to instrument in
+        addition to the auto-detected ``threading.Lock``/``RLock``
+        instance attributes.  The default name carries the object id so
+        records from distinct same-class instances never merge (which
+        would fabricate cross-thread pairs).
+        """
+        obj_name = (
+            name if name is not None else f"{type(obj).__name__}@{id(obj):x}"
+        )
+        cls = type(obj)
+        if cls.__name__.startswith("_Sanitized"):
+            return obj  # already watched
+        instance_dict = object.__getattribute__(obj, "__dict__")
+        originals: Dict[str, object] = {}
+        for attr, value in list(instance_dict.items()):
+            if attr in lock_attrs or isinstance(value, _LOCK_TYPES):
+                originals[attr] = value
+                instance_dict[attr] = _InstrumentedLock(
+                    self, f"{obj_name}.{attr}", value
+                )
+        shadow = self._shadow_class(cls, obj_name)
+        # Not a frozen-field write: swapping __class__ is how the shadow
+        # instrumentation attaches, and must bypass any custom setattr.
+        object.__setattr__(obj, "__class__", shadow)  # repro-lint: disable=RPL203
+        self._names[id(obj)] = obj_name
+        self._watched.append((obj, cls, originals))
+        return obj
+
+    def _shadow_class(self, cls: type, obj_name: str) -> type:
+        sanitizer = self
+
+        class _Shadowed(cls):  # type: ignore[misc, valid-type]
+            def __getattribute__(self, attr_name: str) -> Any:
+                value = super().__getattribute__(attr_name)
+                if sanitizer._should_record(self, attr_name, value):
+                    sanitizer._record(
+                        sanitizer._names.get(id(self), obj_name),
+                        attr_name,
+                        "read",
+                    )
+                return value
+
+            def __setattr__(self, attr_name: str, value: Any) -> None:
+                super().__setattr__(attr_name, value)
+                if sanitizer._should_record(self, attr_name, value):
+                    sanitizer._record(
+                        sanitizer._names.get(id(self), obj_name),
+                        attr_name,
+                        "write",
+                    )
+
+        _Shadowed.__name__ = f"_Sanitized{cls.__name__}"
+        _Shadowed.__qualname__ = f"_Sanitized{cls.__qualname__}"
+        return _Shadowed
+
+    def _should_record(self, obj: object, attr_name: str, value: Any) -> bool:
+        if attr_name.startswith("__") or not self._recording():
+            return False
+        if isinstance(value, _InstrumentedLock):
+            return False  # lock objects are the guard, not the data
+        # Only data attributes: class-level methods/descriptors are
+        # immutable from the races' point of view and would drown the
+        # report in noise.
+        return attr_name in object.__getattribute__(obj, "__dict__")
+
+    def restore(self) -> None:
+        """Undo every class swap and lock replacement."""
+        while self._watched:
+            obj, cls, originals = self._watched.pop()
+            # Mirror of the watch()-time swap; restores the real class.
+            object.__setattr__(obj, "__class__", cls)  # repro-lint: disable=RPL203
+            instance_dict = object.__getattribute__(obj, "__dict__")
+            for attr, original in originals.items():
+                instance_dict[attr] = original
+
+    # -- reporting -------------------------------------------------------
+    def accesses(self) -> List[AccessRecord]:
+        with self._lock:
+            return [
+                AccessRecord(obj_name, fld, thread, kind, lockset, count)
+                for (obj_name, fld), per_field in sorted(self._records.items())
+                for (thread, kind, lockset), count in sorted(
+                    per_field.items(), key=lambda kv: (kv[0][0], kv[0][1])
+                )
+            ]
+
+    def races(self) -> List[RaceReport]:
+        """Every conflicting unsynchronised access pair."""
+        reports: List[RaceReport] = []
+        by_field: Dict[Tuple[str, str], List[AccessRecord]] = {}
+        for record in self.accesses():
+            by_field.setdefault((record.obj_name, record.fld), []).append(
+                record
+            )
+        for (obj_name, fld), records in by_field.items():
+            for i, first in enumerate(records):
+                for second in records[i + 1:]:
+                    if first.thread == second.thread:
+                        continue
+                    if first.kind != "write" and second.kind != "write":
+                        continue
+                    if first.lockset & second.lockset:
+                        continue
+                    reports.append(RaceReport(obj_name, fld, first, second))
+        return reports
+
+
+@contextmanager
+def instrument(
+    *objects: object,
+    names: Sequence[Optional[str]] = (),
+    lock_attrs: Sequence[str] = (),
+) -> Iterator[Sanitizer]:
+    """Watch ``objects`` for the duration of the block.
+
+    Also activates the global hook registry (:mod:`.hooks`), so shared
+    objects constructed *inside* the block — registries, caches, node
+    state — self-register via their no-op-by-default hooks.
+    """
+    from . import hooks
+
+    sanitizer = Sanitizer()
+    hooks.activate(sanitizer)
+    try:
+        for i, obj in enumerate(objects):
+            name = names[i] if i < len(names) else None
+            sanitizer.watch(obj, name=name, lock_attrs=lock_attrs)
+        yield sanitizer
+    finally:
+        hooks.deactivate()
+        sanitizer.restore()

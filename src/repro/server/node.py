@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..resources.allocation import Configuration, ConfigurationSpace
 from ..resources.isolation import IsolationManager
 from ..resources.spec import CORES, ServerSpec
+from ..sanitizer.hooks import register_shared
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..workloads.base import BGWorkload, LCWorkload
 from ..workloads.interference import co_runner_pressure, exerted_pressure
@@ -188,6 +189,7 @@ class Node:
         self._obs_cache: Dict[tuple, Observation] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        register_shared(self, name=f"Node@{id(self):x}")
 
     # ------------------------------------------------------------------
     # Introspection

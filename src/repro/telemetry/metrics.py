@@ -19,6 +19,8 @@ import re
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from ..sanitizer.hooks import register_shared
+
 #: The legal shape of a metric name (RPL501 checks literals against it).
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
 
@@ -180,6 +182,7 @@ class MetricRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        register_shared(self, name=f"MetricRegistry@{id(self):x}")
 
     def _get(self, kind: type, name: str, labels: Mapping[str, str], **kwargs):
         if not METRIC_NAME_RE.match(name):

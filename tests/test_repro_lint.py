@@ -208,6 +208,75 @@ class TestTelemetryRules:
 
 
 # ----------------------------------------------------------------------
+# Dataflow family (interprocedural taint + locksets)
+# ----------------------------------------------------------------------
+class TestDataflowRules:
+    GUARDED = dict(guarded_classes=("GuardedCache",))
+
+    def test_bad_fixture_triggers_all_three_rules(self):
+        findings = lint_fixture("dataflow_bad.py", **self.GUARDED)
+        assert {"RPL601", "RPL602", "RPL603"} <= set(rule_ids(findings))
+
+    def test_good_fixture_is_clean(self):
+        findings = lint_fixture("dataflow_good.py", **self.GUARDED)
+        assert [f for f in findings if f.rule_id.startswith("RPL6")] == [], (
+            render_text(findings)
+        )
+
+    def test_rpl601_sees_what_rpl10x_misses(self):
+        """The acceptance regression: ``Generator(PCG64())`` never
+        mentions ``default_rng``, so the per-file determinism rules stay
+        silent — only the taint analysis catches the fresh-entropy flow."""
+        per_file = lint_fixture(
+            "dataflow_bad.py", select=("RPL101", "RPL102", "RPL103", "RPL104")
+        )
+        assert per_file == [], render_text(per_file)
+        dataflow = lint_fixture("dataflow_bad.py", select=("RPL601",))
+        assert {f.rule_id for f in dataflow} == {"RPL601"}
+        assert len(dataflow) >= 3  # local, field, and payload laundering
+
+    def test_rpl601_flags_each_laundering_channel(self):
+        findings = lint_fixture("dataflow_bad.py", select=("RPL601",))
+        messages = "\n".join(f.message for f in findings)
+        assert "consume" in messages
+        lines = {f.line for f in findings}
+        assert len(lines) >= 3
+
+    def test_rpl602_names_the_offending_class(self):
+        findings = lint_fixture("dataflow_bad.py", select=("RPL602",))
+        assert len(findings) == 1
+        assert "StubTimer" in findings[0].message
+        assert "measure" in findings[0].message
+
+    def test_rpl603_unlocked_and_one_branch_writes(self):
+        findings = lint_fixture(
+            "dataflow_bad.py", select=("RPL603",), **self.GUARDED
+        )
+        assert len(findings) == 2
+        assert all("GuardedCache" in f.message for f in findings)
+
+    def test_rpl603_respects_both_branch_acquire(self):
+        """dataflow_good's ``branchy`` acquires on both arms of the if;
+        the per-path intersection must treat the join as locked."""
+        findings = lint_fixture(
+            "dataflow_good.py", select=("RPL603",), **self.GUARDED
+        )
+        assert findings == [], render_text(findings)
+
+    def test_rpl201_skips_lock_guarded_shared_writes(self):
+        """Lock-guarded mutation of a shared-typed parameter is RPL603's
+        domain; RPL201 must no longer flag it."""
+        findings = lint_fixture("dataflow_good.py", select=("RPL201",))
+        assert findings == [], render_text(findings)
+
+    def test_rpl603_disabled_outside_guarded_classes(self):
+        # Without the GuardedCache override, the default guarded set
+        # (MetricRegistry & co.) matches nothing in the fixture.
+        findings = lint_fixture("dataflow_bad.py", select=("RPL603",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions, config, reporters
 # ----------------------------------------------------------------------
 class TestSuppressionsAndConfig:
@@ -283,6 +352,7 @@ class TestRegistryAndRepoTree:
         "RPL301", "RPL302", "RPL303", "RPL304",
         "RPL401", "RPL402",
         "RPL501", "RPL502",
+        "RPL601", "RPL602", "RPL603",
     }
 
     def test_registry_is_complete(self):
@@ -298,6 +368,28 @@ class TestRegistryAndRepoTree:
         """The acceptance gate: repro-lint on src/repro finds nothing."""
         findings = run_lint([PACKAGE], LintConfig())
         assert findings == [], render_text(findings)
+
+    def test_whole_repo_lints_clean(self):
+        """tests/ and examples/ are held to the same bar (minus the
+        deliberately-broken fixture corpus)."""
+        findings = run_lint(
+            [PACKAGE, REPO_ROOT / "tests", REPO_ROOT / "examples"],
+            LintConfig(),
+            exclude=[FIXTURES],
+        )
+        assert findings == [], render_text(findings)
+
+    def test_exclude_drops_subtree(self):
+        with_fixtures = run_lint(
+            [REPO_ROOT / "tests"], LintConfig(select=("RPL101",))
+        )
+        without = run_lint(
+            [REPO_ROOT / "tests"],
+            LintConfig(select=("RPL101",)),
+            exclude=[FIXTURES],
+        )
+        assert any(f.path.startswith(str(FIXTURES)) for f in with_fixtures)
+        assert not any(f.path.startswith(str(FIXTURES)) for f in without)
 
 
 # ----------------------------------------------------------------------
