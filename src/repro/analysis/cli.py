@@ -45,12 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         default="",
-        help="Comma-separated rule IDs to run exclusively.",
+        help=(
+            "Comma-separated rule IDs or family names (e.g. UNITS, "
+            "dataflow) to run exclusively."
+        ),
     )
     parser.add_argument(
         "--ignore",
         default="",
-        help="Comma-separated rule IDs to skip.",
+        help="Comma-separated rule IDs or family names to skip.",
     )
     parser.add_argument(
         "--exclude",
@@ -72,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _split_rules(raw: str) -> tuple:
     return tuple(token.strip() for token in raw.split(",") if token.strip())
+
+
+def _expand_families(tokens: tuple) -> tuple:
+    """Expand family names (``UNITS``, ``thread-safety``) to rule IDs."""
+    families: dict = {}
+    for rule_id, cls in all_rules().items():
+        families.setdefault(cls.family.upper().replace("-", "_"), []).append(
+            rule_id
+        )
+    expanded: list = []
+    for token in tokens:
+        members = families.get(token.upper().replace("-", "_"))
+        if members is not None:
+            expanded.extend(members)
+        else:
+            expanded.append(token)
+    return tuple(expanded)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -100,8 +120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
 
-    select = _split_rules(args.select)
-    ignore = _split_rules(args.ignore)
+    select = _expand_families(_split_rules(args.select))
+    ignore = _expand_families(_split_rules(args.ignore))
     if select or ignore:
         from dataclasses import replace
 

@@ -17,6 +17,7 @@ CONTRACTS = "contracts"
 NUMERICS = "numerics"
 TELEMETRY = "telemetry"
 DATAFLOW = "dataflow"
+UNITS = "units"
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
         rules_numerics,
         rules_telemetry,
         rules_threadsafety,
+        rules_units,
     )
 
     return dict(sorted(_REGISTRY.items()))

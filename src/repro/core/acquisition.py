@@ -18,6 +18,8 @@ import math
 import numpy as np
 from scipy.special import ndtr
 
+from .units import Fraction
+
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
 
 
@@ -34,7 +36,7 @@ class AcquisitionFunction(ABC):
 
     @abstractmethod
     def __call__(
-        self, mean: np.ndarray, std: np.ndarray, best: float
+        self, mean: np.ndarray, std: np.ndarray, best: Fraction
     ) -> np.ndarray:
         """Acquisition value at each query point (higher = sample sooner)."""
 
@@ -55,7 +57,7 @@ class ExpectedImprovement(AcquisitionFunction):
             raise ValueError(f"zeta must be >= 0, got {self.zeta}")
 
     def __call__(
-        self, mean: np.ndarray, std: np.ndarray, best: float
+        self, mean: np.ndarray, std: np.ndarray, best: Fraction
     ) -> np.ndarray:
         mean = np.asarray(mean, dtype=float)
         std = np.asarray(std, dtype=float)
@@ -75,7 +77,7 @@ class ProbabilityOfImprovement(AcquisitionFunction):
     zeta: float = 0.01
 
     def __call__(
-        self, mean: np.ndarray, std: np.ndarray, best: float
+        self, mean: np.ndarray, std: np.ndarray, best: Fraction
     ) -> np.ndarray:
         mean = np.asarray(mean, dtype=float)
         std = np.asarray(std, dtype=float)
@@ -99,7 +101,7 @@ class UpperConfidenceBound(AcquisitionFunction):
             raise ValueError(f"kappa must be >= 0, got {self.kappa}")
 
     def __call__(
-        self, mean: np.ndarray, std: np.ndarray, best: float
+        self, mean: np.ndarray, std: np.ndarray, best: Fraction
     ) -> np.ndarray:
         del best  # UCB does not use the incumbent
         return np.asarray(mean, dtype=float) + self.kappa * np.asarray(

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..resources.allocation import Configuration
 from ..server.node import LC_ROLE, Node, Observation
 from .rng import RNGLike, resolve_rng
+from .units import Fraction
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,7 @@ class DropoutDecision:
     allocation: Optional[Tuple[int, ...]]
 
 
-def job_performance(observation: Observation, job_name: str) -> float:
+def job_performance(observation: Observation, job_name: str) -> Fraction:
     """A job's scalar performance within one observation, in [0, 1].
 
     LC jobs report QoS progress ``min(1, target/latency)``; BG jobs
@@ -65,7 +66,7 @@ class DropoutCopy:
 
     def __init__(
         self,
-        random_job_prob: float = 0.1,
+        random_job_prob: Fraction = 0.1,
         enabled: bool = True,
         rng: Optional[RNGLike] = None,
     ) -> None:

@@ -30,6 +30,7 @@ from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .dropout import DropoutDecision
 from .gp import GaussianProcess
 from .rng import RNGLike, resolve_rng
+from .units import Fraction
 
 #: Infinity-norm of the finite-difference gradient below which a start is
 #: considered dead-flat: SLSQP cannot move from it, so the (expensive)
@@ -401,7 +402,7 @@ class AcquisitionOptimizer:
     def propose(
         self,
         gp: GaussianProcess,
-        best_score: float,
+        best_score: Fraction,
         sampled: Set[Tuple[int, ...]],
         incumbent: Optional[Configuration] = None,
         dropout: Optional[DropoutDecision] = None,
@@ -440,7 +441,7 @@ class AcquisitionOptimizer:
     def _propose_impl(
         self,
         gp: GaussianProcess,
-        best_score: float,
+        best_score: Fraction,
         sampled: Set[Tuple[int, ...]],
         incumbent: Optional[Configuration] = None,
         dropout: Optional[DropoutDecision] = None,

@@ -22,9 +22,10 @@ import math
 from typing import Dict, Iterable, Optional
 
 from ..server.node import BG_ROLE, JobObservation, Observation
+from .units import Fraction
 
 #: Scores live in [0, 1]; QoS-meeting configurations score above this.
-QOS_MET_THRESHOLD = 0.5
+QOS_MET_THRESHOLD: Fraction = 0.5
 
 
 def _geometric_mean(factors: Iterable[float]) -> float:
@@ -94,7 +95,7 @@ class ScoreFunction:
         baseline = self._iso_lc_latency.get(job.name, job.qos_target_ms)
         return min(1.0, baseline / job.p95_ms)
 
-    def __call__(self, observation: Observation) -> float:
+    def __call__(self, observation: Observation) -> Fraction:
         """Score an observation per Eq. 3; result is in [0, 1]."""
         lc_jobs = observation.lc_jobs
         bg_jobs = observation.bg_jobs
@@ -112,6 +113,6 @@ class ScoreFunction:
         return 0.5 + 0.5 * tail
 
 
-def qos_met(score: float) -> bool:
+def qos_met(score: Fraction) -> bool:
     """Whether a score implies every LC job met QoS (mode 2 of Eq. 3)."""
     return score >= QOS_MET_THRESHOLD

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..core.units import Seconds
 from .allocation import Configuration, ConfigurationSpace
 from .spec import ServerSpec
 
@@ -45,10 +46,10 @@ class IsolationManager:
     """
 
     spec: ServerSpec
-    enforcement_latency_s: float = 0.1
+    enforcement_latency_s: Seconds = 0.1
     _current: Optional[Configuration] = field(default=None, init=False)
     _log: List[ToolInvocation] = field(default_factory=list, init=False)
-    _total_enforcement_s: float = field(default=0.0, init=False)
+    _total_enforcement_s: Seconds = field(default=0.0, init=False)
 
     @property
     def current(self) -> Optional[Configuration]:
@@ -61,7 +62,7 @@ class IsolationManager:
         return list(self._log)
 
     @property
-    def total_enforcement_seconds(self) -> float:
+    def total_enforcement_seconds(self) -> Seconds:
         """Accumulated simulated enforcement time."""
         return self._total_enforcement_s
 

@@ -27,18 +27,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.units import Fraction
 from ..resources.allocation import Configuration
 from ..resources.contracts import policy_contract
 from ..server.node import LC_ROLE, Node, NodeBudget, Observation
 from .base import Policy, PolicyResult, SearchRecorder
 
 #: Slack above which PARTIES considers reclaiming resources for BG jobs.
-DOWNSIZE_SLACK = 0.30
+DOWNSIZE_SLACK: Fraction = 0.30
 #: Minimum slack improvement for an upsize to count as progress.
-IMPROVEMENT_EPSILON = 0.01
+IMPROVEMENT_EPSILON: Fraction = 0.01
 
 
-def _slack(observation: Observation, job_name: str) -> float:
+def _slack(observation: Observation, job_name: str) -> Fraction:
     """Relative latency slack ``(target - p95) / target`` (negative = violating)."""
     reading = observation.job(job_name)
     if reading.role != LC_ROLE:

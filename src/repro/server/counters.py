@@ -16,8 +16,10 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.units import Seconds
+
 #: The paper's default observation period (Sec. 4).
-DEFAULT_OBSERVATION_PERIOD_S = 2.0
+DEFAULT_OBSERVATION_PERIOD_S: Seconds = 2.0
 
 
 @dataclass
@@ -33,7 +35,7 @@ class PerformanceCounters:
     """
 
     relative_std: float = 0.01
-    reference_window_s: float = DEFAULT_OBSERVATION_PERIOD_S
+    reference_window_s: Seconds = DEFAULT_OBSERVATION_PERIOD_S
     seed: Optional[int] = None
     _rng: np.random.Generator = field(init=False, repr=False)
 
@@ -49,12 +51,14 @@ class PerformanceCounters:
         self.seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def _sigma(self, window_s: float) -> float:
+    def _sigma(self, window_s: Seconds) -> float:
         if window_s <= 0:
             raise ValueError("observation window must be positive")
         return self.relative_std * math.sqrt(self.reference_window_s / window_s)
 
-    def read(self, true_value: float, window_s: float = DEFAULT_OBSERVATION_PERIOD_S) -> float:
+    def read(
+        self, true_value: float, window_s: Seconds = DEFAULT_OBSERVATION_PERIOD_S
+    ) -> float:
         """One noisy counter reading of ``true_value`` over ``window_s``.
 
         Infinite values (saturated queues) pass through unchanged — a

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Optional
 
+from ..core.units import Fraction
 from ..resources.allocation import Configuration
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .node import LC_ROLE, Node, Observation
@@ -60,7 +61,7 @@ class QoSMonitor:
     def __init__(
         self,
         node: Node,
-        load_change_threshold: float = 0.05,
+        load_change_threshold: Fraction = 0.05,
         violation_patience: int = 2,
         telemetry: Optional[Telemetry] = None,
     ) -> None:

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.units import Fraction, Millis, Rate, Seconds
 from ..resources.allocation import Configuration, ConfigurationSpace
 from ..resources.isolation import IsolationManager
 from ..resources.spec import CORES, ServerSpec
@@ -64,7 +65,7 @@ class Job:
         return self.workload.name
 
     @staticmethod
-    def lc(workload: LCWorkload, load_fraction: float) -> "Job":
+    def lc(workload: LCWorkload, load_fraction: Fraction) -> "Job":
         """Convenience: an LC job at a constant load fraction."""
         return Job(workload, LoadSchedule.constant(load_fraction))
 
@@ -79,11 +80,11 @@ class JobObservation:
 
     name: str
     role: str
-    load_fraction: Optional[float]
-    qps: Optional[float]
-    p95_ms: Optional[float]
-    qos_target_ms: Optional[float]
-    throughput_norm: Optional[float]
+    load_fraction: Optional[Fraction]
+    qps: Optional[Rate]
+    p95_ms: Optional[Millis]
+    qos_target_ms: Optional[Millis]
+    throughput_norm: Optional[Fraction]
 
     @property
     def qos_met(self) -> bool:
@@ -93,7 +94,7 @@ class JobObservation:
         return self.p95_ms <= self.qos_target_ms
 
     @property
-    def qos_ratio(self) -> float:
+    def qos_ratio(self) -> Fraction:
         """``min(1, target / latency)`` — the Eq. 3 per-LC-job factor."""
         if self.role != LC_ROLE:
             raise ValueError(f"{self.name} is not an LC job")
@@ -107,8 +108,8 @@ class Observation:
     """One observation window: the configuration and every job's reading."""
 
     config: Configuration
-    time_s: float
-    window_s: float
+    time_s: Seconds
+    window_s: Seconds
     jobs: Tuple[JobObservation, ...]
 
     @property
@@ -163,7 +164,7 @@ class Node:
         spec: ServerSpec,
         jobs: Sequence[Job],
         counters: Optional[PerformanceCounters] = None,
-        window_s: float = DEFAULT_OBSERVATION_PERIOD_S,
+        window_s: Seconds = DEFAULT_OBSERVATION_PERIOD_S,
         cache_enabled: bool = True,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
@@ -207,7 +208,7 @@ class Node:
         return tuple(i for i, j in enumerate(self.jobs) if not j.is_lc)
 
     @property
-    def clock_s(self) -> float:
+    def clock_s(self) -> Seconds:
         """Simulated wall-clock time."""
         return self._clock_s
 
@@ -232,7 +233,7 @@ class Node:
             for r, res in enumerate(self.spec.resources)
         }
 
-    def _pressures(self, config: Configuration, at_time: float) -> List[float]:
+    def _pressures(self, config: Configuration, at_time: Seconds) -> List[float]:
         pressures = []
         for i, job in enumerate(self.jobs):
             if job.is_lc:
@@ -243,7 +244,7 @@ class Node:
         return pressures
 
     def true_performance(
-        self, config: Configuration, at_time: Optional[float] = None
+        self, config: Configuration, at_time: Optional[Seconds] = None
     ) -> Observation:
         """Noise-free performance of ``config`` (used by ORACLE).
 
@@ -404,7 +405,7 @@ class Node:
                 target_ms=round(reading.qos_target_ms or 0.0, 3),
             )
 
-    def advance(self, seconds: float) -> None:
+    def advance(self, seconds: Seconds) -> None:
         """Let simulated time pass without taking a sample."""
         if seconds < 0:
             raise ValueError("cannot advance time backwards")

@@ -164,6 +164,11 @@ from .export import (  # noqa: E402  (exporters need the facade types above)
     telemetry_records,
     write_jsonl,
 )
+from .serve import (  # noqa: E402  (serves the exporters)
+    MetricsServer,
+    make_server,
+    registry_from_records,
+)
 
 __all__ = [
     "Clock",
@@ -174,6 +179,7 @@ __all__ = [
     "Histogram",
     "METRIC_NAME_RE",
     "MetricRegistry",
+    "MetricsServer",
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "NullMetricRegistry",
@@ -185,8 +191,10 @@ __all__ = [
     "TelemetrySnapshot",
     "Tracer",
     "WallClock",
+    "make_server",
     "prometheus_text",
     "read_jsonl",
+    "registry_from_records",
     "render_series",
     "telemetry_records",
     "write_jsonl",

@@ -7,7 +7,11 @@ Subcommands:
 * ``timeline`` — the QoS story over time: violation events, monitor
   triggers, and re-invocations in time order;
 * ``metrics``  — the metric snapshot lines (counters, gauges,
-  histogram quantiles).
+  histogram quantiles);
+* ``diff``     — compare two traces' phase breakdowns and fail (exit
+  1) when a phase regressed beyond ``--threshold``;
+* ``serve``    — re-export a trace's metrics over HTTP in Prometheus
+  text format (a scrape target for a finished run).
 
 Produce traces with ``repro-clite run ... --trace FILE`` or
 :func:`repro.telemetry.write_jsonl`.
@@ -17,9 +21,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .export import read_jsonl
+from .serve import make_server, registry_from_records
 
 #: Event names the timeline view knows how to narrate.
 _TIMELINE_EVENTS = {
@@ -27,6 +32,9 @@ _TIMELINE_EVENTS = {
     "monitor.trigger": "monitor trigger",
     "dynamic.reinvocation": "re-invocation",
 }
+
+#: Default relative slowdown beyond which ``diff`` calls a regression.
+DEFAULT_DIFF_THRESHOLD = 0.10
 
 
 def _format_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -47,7 +55,31 @@ def _seconds(value: float) -> str:
     return f"{value * 1e3:.3f}ms"
 
 
-def cmd_summary(records: List[Dict[str, object]]) -> int:
+def _load(path: str) -> List[Dict[str, object]]:
+    """Read one trace, mapping I/O and parse errors to SystemExit(2)."""
+    try:
+        return read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _phase_totals(
+    records: List[Dict[str, object]],
+) -> Dict[str, Tuple[int, float]]:
+    """Span name -> (count, total seconds)."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for record in records:
+        if record["type"] != "span":
+            continue
+        name = str(record["name"])
+        count, total = totals.get(name, (0, 0.0))
+        totals[name] = (count + 1, total + float(record["duration_s"]))  # type: ignore[arg-type]
+    return totals
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    records = _load(args.trace)
     spans = [r for r in records if r["type"] == "span"]
     events = [r for r in records if r["type"] == "event"]
     if not spans:
@@ -96,7 +128,8 @@ def _event_time(record: Dict[str, object]) -> float:
     return float(record["time_s"])  # type: ignore[arg-type]
 
 
-def cmd_timeline(records: List[Dict[str, object]]) -> int:
+def cmd_timeline(args: argparse.Namespace) -> int:
+    records = _load(args.trace)
     events = [
         r
         for r in records
@@ -125,7 +158,8 @@ def cmd_timeline(records: List[Dict[str, object]]) -> int:
     return 0
 
 
-def cmd_metrics(records: List[Dict[str, object]]) -> int:
+def cmd_metrics(args: argparse.Namespace) -> int:
+    records = _load(args.trace)
     metrics = [r for r in records if r["type"] == "metric"]
     if not metrics:
         print("no metrics in trace")
@@ -147,6 +181,92 @@ def cmd_metrics(records: List[Dict[str, object]]) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Phase-by-phase comparison of two traces, with a verdict.
+
+    A phase regresses when its total time grows by more than
+    ``--threshold`` (relative), or when it is new in the AFTER trace
+    with nonzero time (growth from zero is unbounded).  Phases that
+    only exist in BEFORE read as improvements and never fail the diff.
+    """
+    before = _phase_totals(_load(args.before))
+    after = _phase_totals(_load(args.after))
+    if not before and not after:
+        print("no spans in either trace")
+        return 0
+    rows: List[List[str]] = []
+    regressions: List[str] = []
+    for name in sorted(set(before) | set(after), key=lambda n: n):
+        b_count, b_total = before.get(name, (0, 0.0))
+        a_count, a_total = after.get(name, (0, 0.0))
+        delta = a_total - b_total
+        if b_total > 0.0:
+            change = delta / b_total
+            verdict = "slower" if change > args.threshold else (
+                "faster" if change < -args.threshold else "~"
+            )
+            change_cell = f"{change:+.1%}"
+            if change > args.threshold:
+                regressions.append(name)
+        elif a_total > 0.0:
+            verdict, change_cell = "new", "new"
+            regressions.append(name)
+        else:
+            verdict, change_cell = "~", "-"
+        if a_count == 0:
+            verdict, change_cell = "gone", "gone"
+        rows.append(
+            [
+                name,
+                f"{b_count}x {_seconds(b_total)}" if b_count else "-",
+                f"{a_count}x {_seconds(a_total)}" if a_count else "-",
+                f"{delta:+.6f}s",
+                change_cell,
+                verdict,
+            ]
+        )
+    print(
+        _format_table(
+            ["phase", "before", "after", "delta", "change", "verdict"], rows
+        )
+    )
+    b_sum = sum(t for _, t in before.values())
+    a_sum = sum(t for _, t in after.values())
+    print(
+        f"\ntotal traced time: {_seconds(b_sum)} -> {_seconds(a_sum)} "
+        f"({a_sum - b_sum:+.6f}s)"
+    )
+    if regressions:
+        print(
+            f"REGRESSION: {len(regressions)} phase(s) beyond the "
+            f"{args.threshold:.0%} threshold: {', '.join(sorted(regressions))}"
+        )
+        return 1
+    print(f"no regression (threshold {args.threshold:.0%})")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a trace's metric snapshot as a Prometheus scrape target."""
+    records = _load(args.trace)
+    registry = registry_from_records(records)
+    if not registry.instruments():
+        print("no metrics in trace; serving an empty exposition", file=sys.stderr)
+    server = make_server(registry, host=args.host, port=args.port)
+    print(f"serving {args.trace} at {server.url}", flush=True)
+    try:
+        if args.requests is not None:
+            for _ in range(args.requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-trace",
@@ -161,17 +281,48 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=help_text)
         command.add_argument("trace", help="path to a JSONL trace file")
         command.set_defaults(handler=handler)
+
+    diff = sub.add_parser(
+        "diff", help="compare two traces' phase breakdowns"
+    )
+    diff.add_argument("before", help="baseline JSONL trace")
+    diff.add_argument("after", help="candidate JSONL trace")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_DIFF_THRESHOLD,
+        help="relative slowdown that counts as a regression "
+        f"(default {DEFAULT_DIFF_THRESHOLD:.0%})",
+    )
+    diff.set_defaults(handler=cmd_diff)
+
+    serve = sub.add_parser(
+        "serve", help="serve a trace's metrics in Prometheus text format"
+    )
+    serve.add_argument("trace", help="path to a JSONL trace file")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="exit after serving N requests (default: serve forever)",
+    )
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        records = read_jsonl(args.trace)
-    except (OSError, ValueError) as exc:
-        print(f"repro-trace: {exc}", file=sys.stderr)
-        return 2
-    return args.handler(records)
+        return args.handler(args)
+    except SystemExit as exc:  # _load's error path
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    except BrokenPipeError:  # e.g. `repro-trace summary t.jsonl | head`
+        return 0
 
 
 if __name__ == "__main__":

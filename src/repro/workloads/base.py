@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
+from ..core.units import Fraction, Millis, Rate
 from ..resources.spec import CORES
 
 
@@ -52,13 +53,13 @@ class SensitivityCurve:
         if not 0 <= self.floor < 1:
             raise ValueError(f"floor must be in [0, 1), got {self.floor}")
 
-    def utility(self, share: float) -> float:
+    def utility(self, share: Fraction) -> Fraction:
         """Fraction of peak speed retained at ``share`` of the resource."""
         share = min(max(share, 0.0), 1.0)
         rise = (1.0 - math.exp(-self.shape * share)) / (1.0 - math.exp(-self.shape))
         return self.floor + (1.0 - self.floor) * rise
 
-    def contribution(self, share: float) -> float:
+    def contribution(self, share: Fraction) -> Fraction:
         """``utility(share) ** weight`` — this curve's factor of the multiplier."""
         return self.utility(share) ** self.weight
 
@@ -73,7 +74,7 @@ class ResourceProfile:
 
     curves: Mapping[str, SensitivityCurve] = field(default_factory=dict)
 
-    def multiplier(self, shares: Mapping[str, float]) -> float:
+    def multiplier(self, shares: Mapping[str, float]) -> Fraction:
         """Combined speed multiplier in ``(0, 1]`` for the given shares.
 
         ``shares`` maps resource names to fractional allocations in
@@ -117,7 +118,7 @@ class Workload:
     pressure: float = 0.3
     contention_sensitivity: float = 0.1
 
-    def non_core_multiplier(self, shares: Mapping[str, float]) -> float:
+    def non_core_multiplier(self, shares: Mapping[str, float]) -> Fraction:
         """Speed multiplier from every resource except cores."""
         filtered: Dict[str, float] = {
             k: v for k, v in shares.items() if k != CORES
@@ -149,10 +150,10 @@ class LCWorkload(Workload):
             ``None`` until calibrated.
     """
 
-    base_service_rate: float = 1000.0
-    serial_fraction: float = 0.1
-    qos_latency_ms: float = None  # type: ignore[assignment]
-    max_qps: float = None  # type: ignore[assignment]
+    base_service_rate: Rate = 1000.0
+    serial_fraction: Fraction = 0.1
+    qos_latency_ms: Millis = None  # type: ignore[assignment]
+    max_qps: Rate = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.base_service_rate <= 0:
@@ -180,7 +181,7 @@ class LCWorkload(Workload):
     def is_calibrated(self) -> bool:
         return self.qos_latency_ms is not None and self.max_qps is not None
 
-    def calibrated(self, qos_latency_ms: float, max_qps: float) -> "LCWorkload":
+    def calibrated(self, qos_latency_ms: Millis, max_qps: Rate) -> "LCWorkload":
         """Return a copy with QoS target and maximum load filled in."""
         from dataclasses import replace
 

@@ -20,27 +20,29 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..core.units import Fraction, Rate, Seconds
+
 
 @dataclass(frozen=True)
 class SimulationResult:
     """Empirical sojourn-time statistics from one simulation run."""
 
     sojourn_times_s: np.ndarray
-    utilization: float
+    utilization: Fraction
 
-    def quantile(self, percentile: float = 0.95) -> float:
+    def quantile(self, percentile: Fraction = 0.95) -> Seconds:
         if not 0 < percentile < 1:
             raise ValueError(f"percentile must be in (0, 1), got {percentile}")
         return float(np.quantile(self.sojourn_times_s, percentile))
 
     @property
-    def mean(self) -> float:
+    def mean(self) -> Seconds:
         return float(self.sojourn_times_s.mean())
 
 
 def simulate_mmc(
-    arrival_rate: float,
-    service_rate: float,
+    arrival_rate: Rate,
+    service_rate: Rate,
     servers: int,
     n_customers: int = 50_000,
     warmup: int = 2_000,
@@ -89,9 +91,9 @@ def simulate_mmc(
 
 
 def simulate_tandem(
-    arrival_rate: float,
-    serial_rate: float,
-    parallel_rate: float,
+    arrival_rate: Rate,
+    serial_rate: Rate,
+    parallel_rate: Rate,
     servers: int,
     n_customers: int = 50_000,
     warmup: int = 2_000,

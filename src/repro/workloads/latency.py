@@ -25,10 +25,12 @@ from __future__ import annotations
 import math
 from typing import Mapping, Tuple
 
+from ..core.units import Fraction, Millis, Rate, Seconds
+
 from .base import LCWorkload
 
 #: Latency reported when a queue is saturated (arrival rate >= capacity).
-SATURATED_LATENCY_MS = float("inf")
+SATURATED_LATENCY_MS: Millis = float("inf")
 
 
 def erlang_c(servers: int, offered_load: float) -> float:
@@ -59,8 +61,8 @@ def erlang_c(servers: int, offered_load: float) -> float:
 
 
 def mm1_sojourn_quantile(
-    arrival_rate: float, service_rate: float, percentile: float = 0.95
-) -> float:
+    arrival_rate: Rate, service_rate: Rate, percentile: Fraction = 0.95
+) -> Seconds:
     """Quantile of M/M/1 response time (exactly Exp(mu - lambda)), seconds."""
     if not 0 < percentile < 1:
         raise ValueError(f"percentile must be in (0, 1), got {percentile}")
@@ -69,7 +71,7 @@ def mm1_sojourn_quantile(
     return -math.log(1.0 - percentile) / (service_rate - arrival_rate)
 
 
-def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+def mm1_mean_sojourn(arrival_rate: Rate, service_rate: Rate) -> Seconds:
     """Mean M/M/1 response time ``1 / (mu - lambda)``, seconds."""
     if service_rate <= 0 or arrival_rate >= service_rate:
         return float("inf")
@@ -77,11 +79,11 @@ def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
 
 
 def mmc_sojourn_quantile(
-    arrival_rate: float,
-    service_rate: float,
+    arrival_rate: Rate,
+    service_rate: Rate,
     servers: int,
-    percentile: float = 0.95,
-) -> float:
+    percentile: Fraction = 0.95,
+) -> Seconds:
     """The ``percentile`` quantile of M/M/c response (sojourn) time, seconds.
 
     The sojourn time is ``S + W`` where ``S ~ Exp(mu)`` is service and the
@@ -134,8 +136,8 @@ def mmc_sojourn_quantile(
 
 
 def mmc_mean_sojourn(
-    arrival_rate: float, service_rate: float, servers: int
-) -> float:
+    arrival_rate: Rate, service_rate: Rate, servers: int
+) -> Seconds:
     """Mean M/M/c response time ``1/mu + Pw / (c*mu - lambda)``, seconds."""
     if service_rate <= 0 or arrival_rate >= servers * service_rate:
         return float("inf")
@@ -147,7 +149,7 @@ def effective_service_rate(
     workload: LCWorkload,
     shares: Mapping[str, float],
     contention: float = 0.0,
-) -> float:
+) -> Rate:
     """Unit-work completion rate under the given non-core shares.
 
     This is the rate at which one request's *total* work would complete
@@ -164,7 +166,7 @@ def stage_rates(
     workload: LCWorkload,
     shares: Mapping[str, float],
     contention: float = 0.0,
-) -> Tuple[float, float]:
+) -> Tuple[Rate, Rate]:
     """Service rates ``(mu_serial, mu_parallel)`` of the tandem stages.
 
     A request whose total work completes at rate ``mu`` spends
@@ -185,7 +187,7 @@ def capacity_qps(
     cores: int,
     shares: Mapping[str, float],
     contention: float = 0.0,
-) -> float:
+) -> Rate:
     """Saturation throughput: the slower of the two stages' capacities.
 
     ``min(mu/sigma, c * mu/(1-sigma))`` — for enough cores the job's own
@@ -201,12 +203,12 @@ def capacity_qps(
 
 def p95_latency_ms(
     workload: LCWorkload,
-    qps: float,
+    qps: Rate,
     cores: int,
     shares: Mapping[str, float],
     contention: float = 0.0,
-    percentile: float = 0.95,
-) -> float:
+    percentile: Fraction = 0.95,
+) -> Millis:
     """95th-percentile latency (ms) of ``workload`` at ``qps`` load.
 
     The tandem-queue tail is approximated as the larger stage's quantile

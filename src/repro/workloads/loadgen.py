@@ -20,6 +20,7 @@ import numpy as np
 
 from .base import LCWorkload
 from .latency import capacity_qps, p95_latency_ms
+from ..core.units import Fraction, Millis, Rate, Seconds
 from ..resources.spec import CORES, ServerSpec
 
 
@@ -28,19 +29,19 @@ class LoadSweep:
     """The outcome of an isolated QPS sweep for one LC workload."""
 
     workload: str
-    qps: Tuple[float, ...]
-    p95_ms: Tuple[float, ...]
+    qps: Tuple[Rate, ...]
+    p95_ms: Tuple[Millis, ...]
     knee_index: int
 
     @property
-    def knee_qps(self) -> float:
+    def knee_qps(self) -> Rate:
         return self.qps[self.knee_index]
 
     @property
-    def knee_latency_ms(self) -> float:
+    def knee_latency_ms(self) -> Millis:
         return self.p95_ms[self.knee_index]
 
-    def rows(self) -> List[Tuple[float, float]]:
+    def rows(self) -> List[Tuple[Rate, Millis]]:
         """(qps, p95_ms) pairs, e.g. for printing the Fig. 6 series."""
         return list(zip(self.qps, self.p95_ms))
 
@@ -152,8 +153,8 @@ def calibrate(
 class LoadPhase:
     """One step of a piecewise-constant load schedule."""
 
-    start_s: float
-    load_fraction: float
+    start_s: Seconds
+    load_fraction: Fraction
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -180,15 +181,15 @@ class LoadSchedule:
             raise ValueError("the first phase must start at t=0")
 
     @staticmethod
-    def constant(load_fraction: float) -> "LoadSchedule":
+    def constant(load_fraction: Fraction) -> "LoadSchedule":
         return LoadSchedule((LoadPhase(0.0, load_fraction),))
 
     @staticmethod
-    def steps(steps: Sequence[Tuple[float, float]]) -> "LoadSchedule":
+    def steps(steps: Sequence[Tuple[Seconds, Fraction]]) -> "LoadSchedule":
         """Build a schedule from (start_seconds, load_fraction) pairs."""
         return LoadSchedule(tuple(LoadPhase(t, f) for t, f in steps))
 
-    def load_at(self, t: float) -> float:
+    def load_at(self, t: Seconds) -> Fraction:
         """Load fraction in force at time ``t`` (clamped to the first phase)."""
         if t < 0 or math.isnan(t):
             raise ValueError(f"time must be >= 0, got {t}")

@@ -1,0 +1,43 @@
+"""Fixture: every UNITS (RPL7xx) rule fires.
+
+Domains are seeded from the quantity-alias annotations themselves
+(``Seconds``/``Millis``/``UnitCube``) plus one registry entry the test
+supplies (``knee_latency.return=Millis`` for RPL705).  The capacity
+fixture ``tight_partition`` only fires when the test configures
+``units_capacities`` — the Eq. 6 column-sum check is opt-in.
+"""
+
+from repro.core.units import Millis, Seconds, UnitCube
+from repro.resources.allocation import Configuration
+
+
+def window_total(window_s: Seconds, latency_ms: Millis) -> Seconds:
+    return window_s + latency_ms  # RPL701: Seconds + Millis
+
+
+def qos_ok(target_ms: Millis, measured_s: Seconds) -> bool:
+    return measured_s <= target_ms  # RPL704: s compared against ms
+
+
+def embed(x: UnitCube) -> UnitCube:
+    return x
+
+
+def cube_escape() -> UnitCube:
+    level = 1.25
+    return embed(level)  # RPL702: provably leaves [0, 1]
+
+
+def zero_floor_partition() -> Configuration:
+    # RPL703: entry (0, 0) is below the Eq. 5 one-unit floor.
+    return Configuration.from_matrix([[0, 4, 4], [5, 4, 3]])
+
+
+def tight_partition() -> Configuration:
+    # Columns sum to (9, 8): legal until the test configures
+    # units_capacities=("cores=10", "llc=8"), then RPL703 (Eq. 6).
+    return Configuration.from_matrix([[4, 4], [5, 4]])
+
+
+def knee_latency(points):  # RPL705: registered return lacks its alias
+    return 12.5

@@ -1,0 +1,41 @@
+"""Fixture: the UNITS (RPL7xx) rules stay silent on clean code.
+
+Mirrors ``units_bad.py`` construct for construct: time arithmetic goes
+through explicit conversions, cube inputs are clamped, partition
+literals respect the Eq. 5 floor (and the Eq. 6 sums the capacity test
+configures), and the registered signature carries its alias.
+"""
+
+from repro.core.units import Millis, Seconds, UnitCube, to_millis
+from repro.resources.allocation import Configuration
+
+
+def window_total_ms(window_s: Seconds, latency_ms: Millis) -> Millis:
+    return to_millis(window_s) + latency_ms
+
+
+def qos_ok(target_ms: Millis, measured_s: Seconds) -> bool:
+    return to_millis(measured_s) <= target_ms
+
+
+def embed(x: UnitCube) -> UnitCube:
+    return x
+
+
+def clamped_cube() -> UnitCube:
+    level = 1.25
+    return embed(min(level, 1.0))
+
+
+def floor_partition() -> Configuration:
+    return Configuration.from_matrix([[1, 4, 4], [5, 4, 3]])
+
+
+def summed_partition() -> Configuration:
+    # Columns sum to (10, 8), matching the capacity test's
+    # units_capacities=("cores=10", "llc=8").
+    return Configuration.from_matrix([[5, 4], [5, 4]])
+
+
+def knee_latency(points) -> Millis:  # registered, alias present
+    return 12.5
