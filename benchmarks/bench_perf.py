@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +40,7 @@ from repro.core.gp import GaussianProcess
 from repro.core.optimizer import AcquisitionOptimizer
 from repro.experiments import MixSpec
 from repro.schedulers import CLITEPolicy
-from repro.server import NodeBudget
+from repro.server import NodeBudget, ObservationStore
 from repro.telemetry import Telemetry, WallClock
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -76,6 +77,11 @@ BASELINE = {
         # compared against repeated batch refits of the same stream.
         "incremental_build_seconds": None,
     },
+    # The seed had neither a persistent store (every sweep repaid the
+    # full physics cost) nor batching (strictly sequential Algorithm 1),
+    # so both ratios were definitionally 1.0 before this harness landed.
+    "obstore": {"warm_speedup": 1.0},
+    "batch": {"k4_speedup_vs_k1": 1.0},
 }
 
 
@@ -150,14 +156,92 @@ def bench_gp(n_train=60, d=9, n_query=256, reps=30):
     }
 
 
+def bench_obstore(n_configs=300, seed=7):
+    """Cold vs warm repeated sweep through a persistent store.
+
+    The cold pass observes ``n_configs`` random partitions against an
+    empty store; the warm pass replays the *same* partitions through a
+    fresh node and a fresh :class:`ObservationStore` object that reloads
+    the file the cold pass wrote — so the speedup measured is the full
+    persist-reload path, not in-process memoization.  ``warm_physics``
+    must come out 0: a warm store makes repeated sweeps observation-free.
+    """
+    rng = np.random.default_rng(12345)
+    probe = MIX.build_node(seed=seed)
+    configs = [probe.space.random(rng) for _ in range(n_configs)]
+
+    def sweep(store):
+        node = MIX.build_node(seed=seed, store=store)
+        t0 = CLOCK.now()
+        for config in configs:
+            node.observe(config)
+        return CLOCK.now() - t0, node.physics_computations
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "observations.jsonl"
+        with ObservationStore(path) as store:
+            cold_dt, cold_physics = sweep(store)
+            store.flush()
+        with ObservationStore(path) as store:
+            warm_dt, warm_physics = sweep(store)
+    return {
+        "configs": n_configs,
+        "cold_seconds": cold_dt,
+        "warm_seconds": warm_dt,
+        "cold_physics": cold_physics,
+        "warm_physics": warm_physics,
+        "warm_speedup": cold_dt / warm_dt,
+    }
+
+
+def bench_batch(ks=(1, 2, 4, 8), max_samples=60, seed=0):
+    """Equal-budget wall-clock across acquisition batch sizes.
+
+    EI termination is disabled (``post_qos_iterations`` effectively
+    infinite) so every batch size observes exactly ``max_samples``
+    windows; the k > 1 speedup then isolates what batching is for —
+    amortizing the SLSQP acquisition maximization, the engine's dominant
+    CPU cost, over k observations — instead of rewarding earlier
+    termination on an easier trajectory.
+    """
+    runs = {}
+    for k in ks:
+        node = MIX.build_node(seed=seed)
+        engine = CLITEEngine(
+            node,
+            CLITEConfig(
+                seed=seed,
+                max_samples=max_samples,
+                max_iterations=10**6,
+                post_qos_iterations=10**6,
+                batch_k=k,
+                parallel_observe=k > 1,
+            ),
+        )
+        t0 = CLOCK.now()
+        result = engine.optimize()
+        dt = CLOCK.now() - t0
+        runs[str(k)] = {
+            "seconds": dt,
+            "samples": len(result.samples),
+            "samples_per_sec": len(result.samples) / dt,
+        }
+    out = {"max_samples": max_samples, "runs": runs}
+    if "1" in runs and "4" in runs:
+        out["k4_speedup_vs_k1"] = runs["1"]["seconds"] / runs["4"]["seconds"]
+    return out
+
+
 def speedups(current):
     """current/baseline for every rate both sections report."""
     out = {}
     for section, metrics in BASELINE.items():
         for key, base in metrics.items():
-            if not key.endswith("_per_sec") or base is None:
+            if base is None or not (
+                key.endswith("_per_sec") or "speedup" in key
+            ):
                 continue
-            now = current[section].get(key)
+            now = current.get(section, {}).get(key)
             if now:
                 out[f"{section}.{key}"] = now / base
     return out
@@ -178,6 +262,15 @@ CHECK_THRESHOLD = 0.70
 #: slows both paths alike, but telemetry overhead creeping into spans
 #: or counters drags only the enabled rate down.
 ENABLED_BUDGET = 0.90
+
+#: ``--check`` budgets the store and batch ratios the same way: the
+#: quick-mode ratio must stay within this fraction of the tracked
+#: full-run ratio.  Ratios (both halves timed in the same run) stay
+#: machine-independent; the generous floors absorb quick mode's smaller
+#: sweeps, where fixed per-observe costs weigh more than in the tracked
+#: full run.
+OBSTORE_BUDGET = 0.55
+BATCH_BUDGET = 0.65
 
 
 def check_regression(current) -> int:
@@ -217,7 +310,50 @@ def check_regression(current) -> int:
         )
         failed = failed or measured_overhead < floor
 
+    # A warm store must serve every truth — any physics here means the
+    # persist-reload path is silently broken, whatever the timings say.
+    warm_physics = current["obstore"]["warm_physics"]
+    physics_verdict = "ok" if warm_physics == 0 else "REGRESSION"
+    print(f"check: warm-store physics runs {warm_physics} (must be 0): {physics_verdict}")
+    failed = failed or warm_physics != 0
+
+    for section, key, budget in (
+        ("obstore", "warm_speedup", OBSTORE_BUDGET),
+        ("batch", "k4_speedup_vs_k1", BATCH_BUDGET),
+    ):
+        tracked_section = tracked["current"].get(section)
+        if tracked_section is None or key not in tracked_section:
+            print(f"check: no tracked {section}.{key}; budget skipped")
+            continue
+        reference = tracked_section[key]
+        measured = current[section][key]
+        floor = reference * budget
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"check: {section}.{key} x{measured:.2f} vs tracked "
+            f"x{reference:.2f} (floor x{floor:.2f}): {verdict}"
+        )
+        failed = failed or measured < floor
+
     return 1 if failed else 0
+
+
+def cache_smoke() -> int:
+    """CI smoke for the persistent store: sweep twice, expect free replay.
+
+    Runs a tiny sweep against an empty store, then replays it through a
+    fresh node and a fresh store object reloading the same file.  Fails
+    unless the second pass runs zero physics — i.e. unless warm
+    observations are actually free.
+    """
+    result = bench_obstore(n_configs=40)
+    ok = result["cold_physics"] > 0 and result["warm_physics"] == 0
+    print(
+        f"cache-smoke: cold {result['cold_physics']} physics, warm "
+        f"{result['warm_physics']} physics (warm x{result['warm_speedup']:.1f} "
+        f"faster): {'ok' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1
 
 
 def main() -> int:
@@ -233,9 +369,19 @@ def main() -> int:
         help="quick workloads + fail (exit 1) if iterations/sec drops "
         f"more than {1 - CHECK_THRESHOLD:.0%} below BENCH_perf.json, or if "
         f"the enabled-telemetry rate ratio regresses more than "
-        f"{1 - ENABLED_BUDGET:.0%}",
+        f"{1 - ENABLED_BUDGET:.0%}, the store/batch speedup ratios fall "
+        "below their budgets, or a warm store runs any physics",
+    )
+    parser.add_argument(
+        "--cache-smoke",
+        action="store_true",
+        help="store-only CI smoke: sweep twice through one store file and "
+        "fail unless the second pass runs zero physics",
     )
     args = parser.parse_args()
+
+    if args.cache_smoke:
+        return cache_smoke()
 
     if args.quick or args.check:
         current = {
@@ -245,6 +391,8 @@ def main() -> int:
             ),
             "propose": bench_propose(n=3, warmup_iterations=6),
             "gp": bench_gp(n_train=20, reps=5),
+            "obstore": bench_obstore(n_configs=80),
+            "batch": bench_batch(ks=(1, 4), max_samples=24),
         }
     else:
         current = {
@@ -252,6 +400,8 @@ def main() -> int:
             "end_to_end_enabled": bench_end_to_end(enable_telemetry=True),
             "propose": bench_propose(),
             "gp": bench_gp(),
+            "obstore": bench_obstore(),
+            "batch": bench_batch(),
         }
 
     report = {

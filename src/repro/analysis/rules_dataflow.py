@@ -266,12 +266,14 @@ class LocksetDiscipline(Rule):
         self_guarded: bool,
     ) -> Optional[str]:
         """Guarded class name the written object belongs to, if any."""
-        if (
-            self_guarded
-            and isinstance(target, ast.Name)
-            and target.id == "self"
-        ):
-            return fn.class_name
+        if isinstance(target, ast.Name) and target.id == "self":
+            if fn.simple_name in _UNSHARED_METHODS:
+                # The object under construction (or deserialization) is
+                # not shared yet, even when the constructor itself runs
+                # on a pool thread.
+                return None
+            if self_guarded:
+                return fn.class_name
         inferred = scanner._value_type(target)
         if inferred in guarded:
             return inferred

@@ -30,8 +30,10 @@ from .experiments import (
     qos_region,
     run_trial,
 )
+from .core import CLITEConfig
 from .resources import default_server
-from .server import NodeBudget
+from .schedulers import CLITEPolicy
+from .server import NodeBudget, ObservationStore
 from .telemetry import Telemetry, WallClock, write_jsonl
 from .workloads import (
     BG_NAMES,
@@ -128,16 +130,41 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"error: unknown policy {args.policy!r}; choose from "
             f"{', '.join(STANDARD_POLICIES)}"
         )
-    factory = STANDARD_POLICIES[args.policy]
+    if args.batch_k < 1:
+        raise SystemExit("error: --batch-k must be >= 1")
+    if args.batch_k > 1 and args.policy != "CLITE":
+        raise SystemExit("error: --batch-k applies only to --policy CLITE")
+    if args.batch_k > 1:
+        policy = CLITEPolicy(
+            config=CLITEConfig(
+                seed=args.seed,
+                batch_k=args.batch_k,
+                parallel_observe=True,
+            )
+        )
+    else:
+        policy = STANDARD_POLICIES[args.policy](args.seed)
     print(f"Partitioning {mix.label()} with {args.policy} ...")
     telemetry = Telemetry.enabled(clock=WallClock()) if args.trace else None
-    trial = run_trial(
-        mix,
-        factory(args.seed),
-        seed=args.seed,
-        budget=NodeBudget(args.budget),
-        telemetry=telemetry,
-    )
+    store = ObservationStore(args.obstore) if args.obstore else None
+    try:
+        trial = run_trial(
+            mix,
+            policy,
+            seed=args.seed,
+            budget=NodeBudget(args.budget),
+            telemetry=telemetry,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            stats = store.stats()
+            store.close()
+    if store is not None:
+        print(
+            f"observation store {args.obstore}: {stats.hits} hits, "
+            f"{stats.misses} misses, {len(store)} entries on disk"
+        )
     if telemetry is not None:
         lines = write_jsonl(telemetry, args.trace)
         print(
@@ -243,6 +270,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable telemetry and write a JSONL trace to FILE "
         "(render it with repro-trace)",
+    )
+    run_parser.add_argument(
+        "--batch-k",
+        type=int,
+        default=1,
+        metavar="K",
+        help="CLITE only: observe K acquisition candidates per BO round "
+        "(K>1 trades paper-exact sample efficiency for wall-clock)",
+    )
+    run_parser.add_argument(
+        "--obstore",
+        metavar="FILE",
+        default=None,
+        help="persist noise-free observations to FILE (JSONL); repeated "
+        "runs of the same mix replay truths instead of re-simulating",
     )
     run_parser.set_defaults(func=cmd_run)
 

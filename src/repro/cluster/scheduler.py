@@ -26,6 +26,7 @@ from ..core.engine import CLITEConfig, CLITEEngine
 from ..resources.contracts import placement_contract
 from ..sanitizer.hooks import register_shared
 from ..server.node import NodeBudget
+from ..server.obstore import ObservationStore
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .state import Cluster, ClusterNode, JobRequest, PlacementOutcome
 
@@ -44,11 +45,16 @@ def verify_node(
     engine_config: Optional[CLITEConfig] = None,
     seed: Optional[int] = 0,
     telemetry: Optional[Telemetry] = None,
+    store: Optional[ObservationStore] = None,
 ) -> Tuple[bool, Optional[float]]:
     """Partition one node with CLITE and report (qos_met, mean BG perf).
 
     The report uses the simulator's noise-free view of the chosen
     partition, like every other ground-truth metric in the harness.
+    ``store`` attaches a shared observation store to the built node, so
+    repeated verification of similar job sets (the warehouse common
+    case) skips the physics on warm truths; the store is thread-safe
+    and may back every worker of :func:`verify_nodes` at once.
     With telemetry, the run is wrapped in a ``cluster.verify_node``
     span and its observation windows land on the per-node
     ``cluster.verify.samples`` counter — safe under the thread pool,
@@ -64,7 +70,7 @@ def verify_node(
     with tel.tracer.span(
         "cluster.verify_node", node=node_state.index, jobs=node_state.n_jobs
     ) as span:
-        node = node_state.build_node(seed=seed)
+        node = node_state.build_node(seed=seed, store=store)
         engine = CLITEEngine(
             node,
             replace(config, seed=seed, telemetry=tel if tel.active else None),
@@ -89,6 +95,7 @@ def verify_nodes(
     seed: Optional[int] = 0,
     max_workers: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    store: Optional[ObservationStore] = None,
 ) -> Dict[int, Tuple[bool, Optional[float]]]:
     """Run :func:`verify_node` over many nodes, concurrently when possible.
 
@@ -97,13 +104,18 @@ def verify_nodes(
     embarrassingly parallel and deterministic regardless of scheduling.
     A thread pool is used (numpy/scipy release the GIL in the kernels
     the engine leans on); pass ``max_workers=1`` to force serial runs.
+    One ``store`` is shared across all workers: nodes hosting identical
+    job sets (same fingerprint) reuse each other's truths, and a store
+    kept warm across placement rounds makes re-verification near-free.
     """
     states = list(node_states)
     if max_workers is None:
         max_workers = min(len(states), os.cpu_count() or 1) or 1
     if len(states) <= 1 or max_workers <= 1:
         return {
-            state.index: verify_node(state, engine_config, seed, telemetry)
+            state.index: verify_node(
+                state, engine_config, seed, telemetry, store=store
+            )
             for state in states
         }
     for state in states:
@@ -113,7 +125,7 @@ def verify_nodes(
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         futures = {
             state.index: pool.submit(
-                verify_node, state, engine_config, seed, telemetry
+                verify_node, state, engine_config, seed, telemetry, store
             )
             for state in states
         }
@@ -144,6 +156,7 @@ class PlacementPolicy(ABC):
         max_workers: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         spans_since: int = 0,
+        store: Optional[ObservationStore] = None,
     ) -> PlacementOutcome:
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         reports: Dict[int, Tuple[bool, Optional[float]]] = {}
@@ -151,7 +164,7 @@ class PlacementPolicy(ABC):
             with tel.tracer.span("cluster.verify") as span:
                 reports = verify_nodes(
                     cluster.used_nodes(), engine_config, seed, max_workers,
-                    telemetry=tel,
+                    telemetry=tel, store=store,
                 )
                 span.set("nodes", len(reports))
         return PlacementOutcome(
@@ -176,6 +189,8 @@ class DedicatedPlacement(PlacementPolicy):
     verify_workers: Optional[int] = None
     #: Optional telemetry context shared across placement + verification.
     telemetry: Optional[Telemetry] = None
+    #: Optional observation store shared by every verification node.
+    store: Optional[ObservationStore] = None
 
     name = "dedicated"
 
@@ -201,7 +216,7 @@ class DedicatedPlacement(PlacementPolicy):
         return self._finalize(
             cluster, rejected, seed, self.verify,
             max_workers=self.verify_workers,
-            telemetry=tel, spans_since=spans_before,
+            telemetry=tel, spans_since=spans_before, store=self.store,
         )
 
 
@@ -213,6 +228,7 @@ class FirstFitPlacement(PlacementPolicy):
     verify: bool = True
     verify_workers: Optional[int] = None
     telemetry: Optional[Telemetry] = None
+    store: Optional[ObservationStore] = None
 
     name = "first-fit"
 
@@ -249,7 +265,7 @@ class FirstFitPlacement(PlacementPolicy):
         return self._finalize(
             cluster, rejected, seed, self.verify,
             max_workers=self.verify_workers,
-            telemetry=tel, spans_since=spans_before,
+            telemetry=tel, spans_since=spans_before, store=self.store,
         )
 
 
@@ -274,6 +290,10 @@ class CLITEPlacement(PlacementPolicy):
     verify: bool = True
     verify_workers: Optional[int] = None
     telemetry: Optional[Telemetry] = None
+    #: Shared observation store: admission probes and final verification
+    #: reuse each other's truths, and a warm store makes re-placement of
+    #: similar mixes near-free.
+    store: Optional[ObservationStore] = None
 
     name = "clite"
 
@@ -298,7 +318,9 @@ class CLITEPlacement(PlacementPolicy):
         tentative = node_state.with_request(request)
         if not request.is_lc and not tentative.lc_requests:
             return True  # BG-only nodes need no QoS proof
-        qos_met, _ = verify_node(tentative, self.engine_config, seed, telemetry)
+        qos_met, _ = verify_node(
+            tentative, self.engine_config, seed, telemetry, store=self.store
+        )
         return qos_met
 
     @placement_contract
@@ -341,7 +363,7 @@ class CLITEPlacement(PlacementPolicy):
         return self._finalize(
             cluster, rejected, seed, self.verify, self.engine_config,
             max_workers=self.verify_workers,
-            telemetry=tel, spans_since=spans_before,
+            telemetry=tel, spans_since=spans_before, store=self.store,
         )
 
 

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..resources.spec import ServerSpec, default_server
+from ..server.counters import PerformanceCounters
 from ..server.node import Job, Node
+from ..server.obstore import ObservationStore
 from ..telemetry import TelemetrySnapshot
 from ..workloads.base import BGWorkload, LCWorkload
 from ..workloads.loadgen import LoadSchedule
@@ -102,11 +104,30 @@ class ClusterNode:
             index=self.index, spec=self.spec, requests=self.requests + [request]
         )
 
-    def build_node(self, seed: Optional[int] = None) -> Node:
-        """A fresh simulated server running this node's current jobs."""
+    def build_node(
+        self,
+        seed: Optional[int] = None,
+        store: Optional[ObservationStore] = None,
+    ) -> Node:
+        """A fresh simulated server running this node's current jobs.
+
+        ``seed`` seeds the counter-noise stream, so two same-seed builds
+        read identical noisy windows.  It used to be accepted and
+        silently dropped, which left the counters on ambient entropy and
+        let same-seed ``verify_node`` runs disagree — the rare
+        ``test_cluster`` flake.  ``store`` attaches a shared
+        :class:`~repro.server.obstore.ObservationStore`, letting
+        re-verification sweeps reuse truths across nodes and runs.
+        """
         if not self.requests:
             raise ValueError(f"node {self.index} is empty")
-        return Node(self.spec, [r.to_job() for r in self.requests], window_s=2.0)
+        return Node(
+            self.spec,
+            [r.to_job() for r in self.requests],
+            counters=PerformanceCounters(seed=seed),
+            window_s=2.0,
+            store=store,
+        )
 
 
 @dataclass

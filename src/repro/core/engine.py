@@ -18,6 +18,7 @@ import numpy as np
 from ..resources.allocation import Configuration
 from ..resources.spec import CORES
 from ..server.node import Node, Observation
+from ..server.observe import ObservationService
 from ..telemetry import NULL_TELEMETRY, Telemetry, TelemetrySnapshot
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .bootstrap import bootstrap_configurations, run_bootstrap
@@ -86,6 +87,23 @@ class CLITEConfig:
             compared to spending the same windows on EI sampling.
         stop_on_infeasible: Abort early when some LC job misses QoS even
             at maximum allocation ("schedule it elsewhere").
+        batch_k: Top-ranked acquisition candidates observed per BO
+            round.  1 (the default) is the paper's sequential Algorithm
+            1 and keeps trajectories bit-identical to it.  k > 1
+            amortizes the acquisition maximization — the engine's
+            dominant CPU cost — over k observation windows, trading
+            some sample-efficiency fidelity (candidates 2..k are chosen
+            without seeing candidate 1's outcome) for wall-clock.
+        parallel_observe: With ``batch_k > 1``, warm the node's truth
+            caches for the whole batch concurrently before the serial
+            observe loop runs.  Results are deterministic for a given
+            seed regardless of worker count or completion order: the
+            workers only precompute noise-free truths at the exact
+            (config, time) points the serial loop will visit, and every
+            clock advance and noise draw still happens serially in
+            candidate-rank order.
+        observe_workers: Thread-pool width for ``parallel_observe``
+            (default: the batch size, capped at 8).
         seed: Seed for all engine randomness.
         telemetry: Optional :class:`repro.telemetry.Telemetry` context.
             When given, the engine wraps each Algorithm 1 phase in a
@@ -117,6 +135,9 @@ class CLITEConfig:
     refine_budget: int = 20
     refine_patience: int = 5
     stop_on_infeasible: bool = True
+    batch_k: int = 1
+    parallel_observe: bool = False
+    observe_workers: Optional[int] = None
     seed: Optional[int] = None
     telemetry: Optional[Telemetry] = None
 
@@ -192,6 +213,8 @@ class CLITEEngine:
     config: CLITEConfig = field(default_factory=CLITEConfig)
 
     def __post_init__(self) -> None:
+        if self.config.batch_k < 1:
+            raise ValueError("batch_k must be >= 1")
         self._rng = np.random.default_rng(self.config.seed)
         self._telemetry = (
             self.config.telemetry
@@ -199,6 +222,12 @@ class CLITEEngine:
             else NULL_TELEMETRY
         )
         self._tracer = self._telemetry.tracer
+        self._service = ObservationService(
+            self.node,
+            parallel=self.config.parallel_observe,
+            workers=self.config.observe_workers,
+            telemetry=self._telemetry,
+        )
         self.score_fn = ScoreFunction()
         self._dropout = DropoutCopy(
             random_job_prob=self.config.dropout_random_prob,
@@ -246,6 +275,16 @@ class CLITEEngine:
                 )
             infeasible = ()
         return records, infeasible
+
+    def _batch_room(self, records: List["SampleRecord"]) -> int:
+        """How many of this round's candidates the sample budget can take."""
+        k = self.config.batch_k
+        if self.config.max_samples is None:
+            return k
+        room = (
+            self.config.max_samples - self.config.confirm_top - len(records)
+        )
+        return max(1, min(k, room))
 
     def _random_unseen(
         self, sampled: Set[Tuple[int, ...]], tries: int = 200
@@ -393,6 +432,11 @@ class CLITEEngine:
                         incumbent=best_record.config,
                         dropout=dropout,
                         upper_caps=self._upper_caps(records),
+                        max_candidates=(
+                            self.config.batch_k
+                            if self.config.batch_k > 1
+                            else None
+                        ),
                     )
             if first_qos_iteration is None and any(
                 r.observation.all_qos_met for r in records
@@ -410,27 +454,33 @@ class CLITEEngine:
                 converged = True
                 break
 
+            picks: List[Tuple[Configuration, Optional[float]]]
             if proposal.candidates:
-                chosen = proposal.candidates[0]
-                config, ei = chosen.config, chosen.acquisition_value
+                picks = [
+                    (c.config, c.acquisition_value)
+                    for c in proposal.candidates[: self._batch_room(records)]
+                ]
             else:
-                config, ei = self._random_unseen(sampled), None
+                picks = [(self._random_unseen(sampled), None)]
 
             with self._tracer.span("engine.observe", phase="search"):
-                observation = self.node.observe(config)
-            score = self.score_fn(observation)
-            self._dropout.update(config, observation, self.node)
-            sampled.add(config.flat())
-            records.append(
-                SampleRecord(
-                    index=len(records),
-                    phase="search",
-                    config=config,
-                    observation=observation,
-                    score=score,
-                    expected_improvement=ei,
+                observations = self._service.observe_batch(
+                    [config for config, _ in picks]
                 )
-            )
+            for (config, ei), observation in zip(picks, observations):
+                score = self.score_fn(observation)
+                self._dropout.update(config, observation, self.node)
+                sampled.add(config.flat())
+                records.append(
+                    SampleRecord(
+                        index=len(records),
+                        phase="search",
+                        config=config,
+                        observation=observation,
+                        score=score,
+                        expected_improvement=ei,
+                    )
+                )
 
         with self._tracer.span("engine.refine"):
             self._refine(records, sampled)

@@ -408,6 +408,7 @@ class AcquisitionOptimizer:
         dropout: Optional[DropoutDecision] = None,
         upper_caps: Optional[np.ndarray] = None,
         acquisition: Optional[AcquisitionFunction] = None,
+        max_candidates: Optional[int] = None,
     ) -> Proposal:
         """Maximize the acquisition and return ranked unseen candidates.
 
@@ -423,7 +424,13 @@ class AcquisitionOptimizer:
                 individual per-job, per-resource constraints).
             acquisition: One-off acquisition override for this round
                 (the engine uses it for pure-exploitation rounds).
+            max_candidates: Keep only the top-k of the ranked unseen
+                candidates (the engine's batch mode passes its
+                ``batch_k``).  ``None`` returns the full ranking;
+                ``max_acquisition`` is unaffected either way.
         """
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
         with self._tracer.span("optimizer.propose") as span:
             proposal = self._propose_impl(
                 gp,
@@ -434,6 +441,14 @@ class AcquisitionOptimizer:
                 upper_caps=upper_caps,
                 acquisition=acquisition,
             )
+            if (
+                max_candidates is not None
+                and len(proposal.candidates) > max_candidates
+            ):
+                proposal = Proposal(
+                    candidates=proposal.candidates[:max_candidates],
+                    max_acquisition=proposal.max_acquisition,
+                )
             span.set("candidates", len(proposal.candidates))
             span.set("max_acquisition", proposal.max_acquisition)
         return proposal

@@ -25,6 +25,7 @@ from ..schedulers import (
     RandomPlusPolicy,
 )
 from ..server.node import BG_ROLE, LC_ROLE, Node, NodeBudget
+from ..server.obstore import ObservationStore
 from ..telemetry import Telemetry
 from .spec import MixSpec
 
@@ -101,15 +102,18 @@ def run_trial(
     budget: Optional[NodeBudget] = None,
     server: Optional[ServerSpec] = None,
     telemetry: Optional[Telemetry] = None,
+    store: Optional["ObservationStore"] = None,
 ) -> TrialResult:
     """One policy run on a fresh node, judged by true performance.
 
     With ``telemetry``, the context is installed on the node (so every
     policy's observation windows are traced) and handed to the policy
-    via :meth:`~repro.schedulers.base.Policy.instrument`.
+    via :meth:`~repro.schedulers.base.Policy.instrument`.  ``store``
+    attaches a persistent observation store to the node, making
+    repeated trials of the same mix near-free on warm truths.
     """
     server = server or default_server()
-    node = mix.build_node(server=server, seed=seed)
+    node = mix.build_node(server=server, seed=seed, store=store)
     budget = budget or NodeBudget()
     if telemetry is not None and telemetry.active:
         node.telemetry = telemetry

@@ -12,6 +12,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 from ..server.counters import DEFAULT_OBSERVATION_PERIOD_S, PerformanceCounters
 from ..server.node import Job, Node
+from ..server.obstore import ObservationStore
 from ..resources.spec import ServerSpec, default_server
 from ..workloads.loadgen import LoadSchedule
 from ..workloads.parsec import bg_workload
@@ -73,6 +74,7 @@ class MixSpec:
         seed: Optional[int] = None,
         window_s: float = DEFAULT_OBSERVATION_PERIOD_S,
         noise: Optional[float] = None,
+        store: Optional[ObservationStore] = None,
     ) -> Node:
         """Instantiate a fresh node running this mix.
 
@@ -81,6 +83,8 @@ class MixSpec:
             seed: Counter-noise seed (fresh entropy if ``None``).
             window_s: Observation window length.
             noise: Override the counters' relative noise level.
+            store: Shared observation store — repeated sweeps over the
+                same mix then reuse truths across nodes and processes.
         """
         server = server or default_server()
         jobs = []
@@ -96,4 +100,6 @@ class MixSpec:
             if noise is not None
             else PerformanceCounters(seed=seed)
         )
-        return Node(server, jobs, counters=counters, window_s=window_s)
+        return Node(
+            server, jobs, counters=counters, window_s=window_s, store=store
+        )

@@ -156,6 +156,7 @@ class ConfigurationSpace:
         self.spec = spec
         self.n_jobs = n_jobs
         self._units = np.array([r.units for r in spec.resources], dtype=int)
+        self._units_list = [int(r.units) for r in spec.resources]
 
     @property
     def n_resources(self) -> int:
@@ -200,14 +201,18 @@ class ConfigurationSpace:
             raise ValueError(
                 f"expected {self.n_resources} resources, got {config.n_resources}"
             )
-        arr = config.as_array()
-        if (arr < 1).any():
-            raise ValueError(f"every job needs >= 1 unit of every resource: {arr}")
-        sums = arr.sum(axis=0)
-        if (sums != self._units).any():
+        # Pure-Python checks: configurations are tiny (jobs x resources),
+        # so tuple arithmetic beats round-tripping through numpy arrays.
+        units = config.units
+        if any(v < 1 for row in units for v in row):
             raise ValueError(
-                f"resource columns must sum to {self._units.tolist()}, "
-                f"got {sums.tolist()}"
+                f"every job needs >= 1 unit of every resource: "
+                f"{[list(row) for row in units]}"
+            )
+        sums = [sum(col) for col in zip(*units)]
+        if sums != self._units_list:
+            raise ValueError(
+                f"resource columns must sum to {self._units_list}, got {sums}"
             )
 
     def contains(self, config: Configuration) -> bool:

@@ -50,6 +50,7 @@ class IsolationManager:
     _current: Optional[Configuration] = field(default=None, init=False)
     _log: List[ToolInvocation] = field(default_factory=list, init=False)
     _total_enforcement_s: Seconds = field(default=0.0, init=False)
+    _spaces: Dict[int, ConfigurationSpace] = field(default_factory=dict, init=False)
 
     @property
     def current(self) -> Optional[Configuration]:
@@ -73,18 +74,32 @@ class IsolationManager:
         unchanged resources mirrors how a real controller avoids
         redundant CAT/MBA writes.
         """
-        space = ConfigurationSpace(self.spec, config.n_jobs)
+        current = self._current
+        if current is not None and current.units == config.units:
+            # Identical partition: nothing to validate (the in-force one
+            # already passed) and no tool has to be touched.
+            self._current = config
+            return []
+        space = self._spaces.get(config.n_jobs)
+        if space is None:
+            space = ConfigurationSpace(self.spec, config.n_jobs)
+            self._spaces[config.n_jobs] = space
         space.validate(config)
+        new_columns = list(zip(*config.units))
+        old_columns = (
+            list(zip(*current.units))
+            if current is not None and current.n_jobs == config.n_jobs
+            else None
+        )
         issued: List[ToolInvocation] = []
         for r, resource in enumerate(self.spec.resources):
-            column = config.resource_column(r)
-            if self._current is not None and self._current.n_jobs == config.n_jobs:
-                if self._current.resource_column(r) == column:
-                    continue
+            column = new_columns[r]
+            if old_columns is not None and old_columns[r] == column:
+                continue
             invocation = ToolInvocation(
                 tool=resource.isolation_tool,
                 resource=resource.name,
-                allocation={j: units for j, units in enumerate(column)},
+                allocation=dict(enumerate(column)),
             )
             self._log.append(invocation)
             issued.append(invocation)

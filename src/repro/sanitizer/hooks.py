@@ -44,9 +44,16 @@ def register_shared(
     obj: object,
     name: Optional[str] = None,
     lock_attrs: Sequence[str] = (),
+    container_attrs: Sequence[str] = (),
 ) -> object:
-    """Watch ``obj`` if a sanitizer is active; no-op (and ~free) if not."""
+    """Watch ``obj`` if a sanitizer is active; no-op (and ~free) if not.
+
+    ``container_attrs`` opts named mapping attributes into item-level
+    mutation tracking (see :meth:`~.shadow.Sanitizer.watch`).
+    """
     sanitizer = _ACTIVE
     if sanitizer is None:
         return obj
-    return sanitizer.watch(obj, name=name, lock_attrs=lock_attrs)
+    return sanitizer.watch(
+        obj, name=name, lock_attrs=lock_attrs, container_attrs=container_attrs
+    )

@@ -70,22 +70,33 @@ class RaceReport:
 
 
 class _InstrumentedLock:
-    """Delegating lock wrapper that maintains the per-thread held-set."""
+    """Delegating lock wrapper that maintains the per-thread held-set.
+
+    Reentrant acquisitions (RLocks re-taken by self-guarding helpers)
+    are depth-counted per thread: the token leaves the held-set only
+    when the outermost hold releases, so code running between an inner
+    release and the outer one is still seen as holding the lock.
+    """
 
     def __init__(self, sanitizer: "Sanitizer", token: str, inner: Any) -> None:
         self._sanitizer = sanitizer
         self._token = token
         self._inner = inner
+        self._depth = threading.local()
 
     def acquire(self, *args: Any, **kwargs: Any) -> bool:
         acquired = self._inner.acquire(*args, **kwargs)
         if acquired:
+            self._depth.n = getattr(self._depth, "n", 0) + 1
             self._sanitizer._held().add(self._token)
         return bool(acquired)
 
     def release(self) -> None:
         self._inner.release()
-        self._sanitizer._held().discard(self._token)
+        depth = getattr(self._depth, "n", 1) - 1
+        self._depth.n = depth
+        if depth <= 0:
+            self._sanitizer._held().discard(self._token)
 
     def locked(self) -> bool:
         return bool(self._inner.locked())
@@ -96,6 +107,107 @@ class _InstrumentedLock:
 
     def __exit__(self, *exc) -> None:
         self.release()
+
+
+class _ShadowMapping:
+    """Mapping proxy that records item-level mutations by reference.
+
+    Wrapping is by reference: every operation lands on the original
+    inner mapping, so unwatched aliases stay coherent and ``restore()``
+    only has to put the original object back on the attribute.  The
+    proxy delegates the full :class:`dict`/``OrderedDict`` surface
+    (including ``move_to_end``/``popitem(last=False)``), recording each
+    operation against the synthetic field ``"<attr>[]"`` so container
+    races are distinguishable from rebinding races on the attribute
+    itself.
+    """
+
+    __slots__ = ("_sanitizer", "_obj_name", "_fld", "_inner")
+
+    def __init__(
+        self, sanitizer: "Sanitizer", obj_name: str, fld: str, inner: Any
+    ) -> None:
+        self._sanitizer = sanitizer
+        self._obj_name = obj_name
+        self._fld = fld
+        self._inner = inner
+
+    def _note(self, kind: str) -> None:
+        if self._sanitizer._recording():
+            self._sanitizer._record(self._obj_name, self._fld, kind)
+
+    # -- reads ----------------------------------------------------------
+    def __getitem__(self, key: Any) -> Any:
+        self._note("read")
+        return self._inner[key]
+
+    def __contains__(self, key: Any) -> bool:
+        self._note("read")
+        return key in self._inner
+
+    def __len__(self) -> int:
+        self._note("read")
+        return len(self._inner)
+
+    def __iter__(self) -> Iterator[Any]:
+        self._note("read")
+        return iter(self._inner)
+
+    def __bool__(self) -> bool:
+        self._note("read")
+        return bool(self._inner)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._note("read")
+        return self._inner.get(key, default)
+
+    def keys(self) -> Any:
+        self._note("read")
+        return self._inner.keys()
+
+    def values(self) -> Any:
+        self._note("read")
+        return self._inner.values()
+
+    def items(self) -> Any:
+        self._note("read")
+        return self._inner.items()
+
+    def __repr__(self) -> str:
+        return f"_ShadowMapping({self._inner!r})"
+
+    # -- writes ---------------------------------------------------------
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._note("write")
+        self._inner[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        self._note("write")
+        del self._inner[key]
+
+    def pop(self, *args: Any, **kwargs: Any) -> Any:
+        self._note("write")
+        return self._inner.pop(*args, **kwargs)
+
+    def popitem(self, *args: Any, **kwargs: Any) -> Any:
+        self._note("write")
+        return self._inner.popitem(*args, **kwargs)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._note("write")
+        return self._inner.setdefault(key, default)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._note("write")
+        self._inner.update(*args, **kwargs)
+
+    def clear(self) -> None:
+        self._note("write")
+        self._inner.clear()
+
+    def move_to_end(self, *args: Any, **kwargs: Any) -> None:
+        self._note("write")
+        self._inner.move_to_end(*args, **kwargs)
 
 
 class Sanitizer:
@@ -144,13 +256,18 @@ class Sanitizer:
         obj: object,
         name: Optional[str] = None,
         lock_attrs: Sequence[str] = (),
+        container_attrs: Sequence[str] = (),
     ) -> object:
         """Shadow-instrument ``obj`` in place and return it.
 
         ``lock_attrs`` names lock-holding attributes to instrument in
         addition to the auto-detected ``threading.Lock``/``RLock``
-        instance attributes.  The default name carries the object id so
-        records from distinct same-class instances never merge (which
+        instance attributes.  ``container_attrs`` names mapping
+        attributes (dict/``OrderedDict``) whose *item-level* mutations
+        should be tracked too — attribute instrumentation alone only
+        sees the attribute read that fetches the container, not the
+        ``d[k] = v`` that races.  The default name carries the object id
+        so records from distinct same-class instances never merge (which
         would fabricate cross-thread pairs).
         """
         obj_name = (
@@ -167,6 +284,14 @@ class Sanitizer:
                 instance_dict[attr] = _InstrumentedLock(
                     self, f"{obj_name}.{attr}", value
                 )
+        for attr in container_attrs:
+            value = instance_dict.get(attr)
+            if value is None or isinstance(value, _ShadowMapping):
+                continue
+            originals[attr] = value
+            instance_dict[attr] = _ShadowMapping(
+                self, obj_name, f"{attr}[]", value
+            )
         shadow = self._shadow_class(cls, obj_name)
         # Not a frozen-field write: swapping __class__ is how the shadow
         # instrumentation attaches, and must bypass any custom setattr.
@@ -259,6 +384,7 @@ def instrument(
     *objects: object,
     names: Sequence[Optional[str]] = (),
     lock_attrs: Sequence[str] = (),
+    container_attrs: Sequence[str] = (),
 ) -> Iterator[Sanitizer]:
     """Watch ``objects`` for the duration of the block.
 
@@ -273,7 +399,12 @@ def instrument(
     try:
         for i, obj in enumerate(objects):
             name = names[i] if i < len(names) else None
-            sanitizer.watch(obj, name=name, lock_attrs=lock_attrs)
+            sanitizer.watch(
+                obj,
+                name=name,
+                lock_attrs=lock_attrs,
+                container_attrs=container_attrs,
+            )
         yield sanitizer
     finally:
         hooks.deactivate()

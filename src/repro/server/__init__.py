@@ -1,4 +1,4 @@
-"""Simulated co-location server: node, counters, QoS monitor."""
+"""Simulated co-location server: node, counters, QoS monitor, obstore."""
 
 from .counters import DEFAULT_OBSERVATION_PERIOD_S, PerformanceCounters
 from .monitor import MonitorReport, QoSMonitor, Trigger
@@ -11,6 +11,8 @@ from .node import (
     NodeBudget,
     Observation,
 )
+from .observe import ObservationService
+from .obstore import ObservationStore, StoreStats, node_fingerprint
 
 __all__ = [
     "BG_ROLE",
@@ -22,7 +24,11 @@ __all__ = [
     "Node",
     "NodeBudget",
     "Observation",
+    "ObservationService",
+    "ObservationStore",
     "PerformanceCounters",
     "QoSMonitor",
+    "StoreStats",
     "Trigger",
+    "node_fingerprint",
 ]

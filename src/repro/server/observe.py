@@ -1,0 +1,127 @@
+"""The engine-facing observation service.
+
+:class:`ObservationService` is the explicit seam between the BO engine
+and the node.  Single observations pass straight through; batches are
+the interesting case: the engine's batch mode hands over the top-k
+acquisition candidates at once, and the service warms the node's truth
+caches concurrently (via the side-effect-free :meth:`Node.prime`) before
+running the real ``observe`` loop serially in candidate-rank order.
+
+That split is what keeps ``batch_k > 1`` deterministic: the expensive
+physics happens on pool workers in any completion order, but every
+clock advance, history append, and counter-noise draw happens in the
+serial loop, in rank order, exactly as a sequential engine would issue
+them.  Worker scheduling can change *when* a truth gets computed, never
+*what* the trajectory sees.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..resources.allocation import Configuration
+from ..sanitizer.hooks import register_shared
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .node import Node, Observation
+
+
+class ObservationService:
+    """Observes configurations on one node, batched and optionally parallel.
+
+    Args:
+        node: The node to observe on.
+        parallel: Warm truths for a batch concurrently on a thread pool.
+            With False (the default) batches are still observed in rank
+            order but the physics runs inline — useful when the store is
+            already warm or the platform dislikes threads.
+        workers: Pool width (default: the batch size, capped at 8).
+        telemetry: Optional telemetry context for ``observe.batch.*``
+            counters; defaults to the node's context.
+    """
+
+    MAX_WORKERS = 8
+
+    def __init__(
+        self,
+        node: Node,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.node = node
+        self.parallel = parallel
+        self.workers = workers
+        self.telemetry = telemetry if telemetry is not None else node.telemetry
+        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        register_shared(
+            self, name=f"ObservationService@{id(self):x}", lock_attrs=("_lock",)
+        )
+
+    def observe(self, config: Configuration) -> Observation:
+        """One observation window — identical to calling the node."""
+        return self.node.observe(config)
+
+    def observe_batch(
+        self, configs: Sequence[Configuration]
+    ) -> List[Observation]:
+        """Observe ``configs`` in order, returning one window each.
+
+        The serial observe loop advances the node clock by one window
+        per configuration, so batch item ``i`` is observed at
+        ``t0 + i * window_s`` — the same times a sequential engine would
+        have used.  With ``parallel`` enabled, those exact (config,
+        time) pairs are primed concurrently first, making the serial
+        loop pure cache hits.
+        """
+        batch = list(configs)
+        if not batch:
+            return []
+        self.telemetry.metrics.counter("observe.batch.batches").add()
+        self.telemetry.metrics.counter("observe.batch.configs").add(len(batch))
+        if self.parallel and len(batch) > 1:
+            self._prime_concurrently(batch)
+        return [self.node.observe(config) for config in batch]
+
+    def _prime_concurrently(self, batch: Sequence[Configuration]) -> None:
+        t0 = self.node.clock_s
+        window = self.node.window_s
+        futures = [
+            self._ensure_pool(len(batch)).submit(
+                self.node.prime, config, t0 + i * window
+            )
+            for i, config in enumerate(batch)
+        ]
+        computed = sum(1 for future in futures if future.result())
+        if computed:
+            self.telemetry.metrics.counter("observe.batch.primed").add(computed)
+
+    def _ensure_pool(self, batch_size: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                width = (
+                    self.workers
+                    if self.workers is not None
+                    else min(batch_size, self.MAX_WORKERS)
+                )
+                self._pool = ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="observe"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the priming pool down (the service stays usable)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ObservationService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

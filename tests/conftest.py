@@ -109,11 +109,13 @@ def make_node(
     seed: int = 0,
     noise: float = 0.0,
     window_s: float = 2.0,
+    store=None,
 ) -> Node:
     """A deterministic node with hand-calibrated synthetic workloads.
 
     ``lc_loads`` is a sequence of per-LC-job load fractions (each spawns
-    one LC job); ``n_bg`` BG jobs are appended.
+    one LC job); ``n_bg`` BG jobs are appended.  ``store`` attaches a
+    shared :class:`~repro.server.obstore.ObservationStore`.
     """
     jobs = []
     loads = [l[0] if isinstance(l, tuple) else l for l in lc_loads]
@@ -122,7 +124,9 @@ def make_node(
     for i in range(n_bg):
         jobs.append(Job.bg(make_bg(name=f"bg{i}")))
     counters = PerformanceCounters(relative_std=noise, seed=seed)
-    return Node(server, jobs, counters=counters, window_s=window_s)
+    return Node(
+        server, jobs, counters=counters, window_s=window_s, store=store
+    )
 
 
 @pytest.fixture

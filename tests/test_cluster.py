@@ -122,6 +122,25 @@ class TestVerifyNode:
         assert qos
         assert bg is None
 
+    def test_same_seed_same_report(self, mini_server):
+        """Regression: build_node once accepted a seed and silently
+        dropped it, leaving the counters on ambient entropy — two
+        same-seed verifications could then disagree (the rare flake)."""
+        state = (
+            ClusterNode(0, mini_server)
+            .with_request(lc_request("a", 0.3))
+            .with_request(bg_request("b"))
+        )
+        reports = {verify_node(state, FAST_ENGINE, seed=7) for _ in range(3)}
+        assert len(reports) == 1
+
+    def test_seed_reaches_counters(self, mini_server):
+        state = ClusterNode(0, mini_server).with_request(lc_request("a", 0.3))
+        a = state.build_node(seed=3)
+        b = state.build_node(seed=3)
+        config = a.space.equal_partition()
+        assert a.observe(config).jobs == b.observe(config).jobs
+
 
 class TestVerifyNodes:
     def _states(self, mini_server, n=3):
@@ -150,6 +169,34 @@ class TestVerifyNodes:
         (state,) = self._states(mini_server, n=1)
         reports = verify_nodes([state], FAST_ENGINE, seed=0)
         assert reports == {0: verify_node(state, FAST_ENGINE, 0)}
+
+    def test_shared_store_across_parallel_workers(self, mini_server, tmp_path):
+        """One store backs every pool worker; identical job sets share a
+        fingerprint, and a warm store makes re-verification physics-free
+        without changing any report."""
+        from repro.server import ObservationStore
+
+        # Same workload set on every node -> same fingerprint.
+        states = [
+            ClusterNode(i, mini_server)
+            .with_request(lc_request("svc", 0.3))
+            .with_request(bg_request("batch"))
+            for i in range(3)
+        ]
+        baseline = verify_nodes(states, FAST_ENGINE, seed=0, max_workers=3)
+        store = ObservationStore(tmp_path / "verify.jsonl")
+        cold = verify_nodes(
+            states, FAST_ENGINE, seed=0, max_workers=3, store=store
+        )
+        assert cold == baseline
+        warm_misses = store.stats().misses
+        warm = verify_nodes(
+            states, FAST_ENGINE, seed=0, max_workers=3, store=store
+        )
+        assert warm == baseline
+        # The second round re-reads truths the first round published.
+        assert store.stats().hits > 0
+        assert store.stats().misses == warm_misses
 
     def test_policy_verify_workers_same_outcome(self, mini_server):
         requests = [

@@ -266,3 +266,153 @@ class TestSanitizerCLI:
     def test_probe_bad_target_exits_two(self, capsys):
         code = san_main(["probe", "nonsense"])
         assert code == 2
+
+
+# ----------------------------------------------------------------------
+# Container (dict) mutation tracking
+# ----------------------------------------------------------------------
+class _DictHolder:
+    """Toy shared object mutating a dict attribute, (un)guarded."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.table = {}
+
+    def bump_unguarded(self, n=300):
+        for i in range(n):
+            self.table[i % 7] = self.table.get(i % 7, 0) + 1
+
+    def bump_guarded(self, n=300):
+        for i in range(n):
+            with self._lock:
+                self.table[i % 7] = self.table.get(i % 7, 0) + 1
+
+    def read_table(self, n=300):
+        total = 0
+        for i in range(n):
+            total += self.table.get(i % 7, 0)
+        return total
+
+
+@pytest.mark.sanitize
+class TestContainerTracking:
+    def test_unguarded_dict_mutation_race_detected(self):
+        """Attribute shadowing alone only sees the fetch of the
+        container; item-level tracking must catch ``d[k] = v`` races."""
+        holder = _DictHolder()
+        with instrument(holder, container_attrs=("table",)) as san:
+            run_threads(holder.bump_unguarded, holder.bump_unguarded)
+            races = san.races()
+        assert any(r.fld == "table[]" for r in races)
+
+    def test_guarded_dict_mutation_is_clean(self):
+        holder = _DictHolder()
+        with instrument(holder, container_attrs=("table",)) as san:
+            run_threads(holder.bump_guarded, holder.bump_guarded)
+            races = san.races()
+        assert all(r.fld != "table[]" for r in races)
+
+    def test_write_read_container_race_detected(self):
+        holder = _DictHolder()
+        with instrument(holder, container_attrs=("table",)) as san:
+            run_threads(holder.bump_unguarded, holder.read_table)
+            races = san.races()
+        kinds = {
+            frozenset((r.first.kind, r.second.kind))
+            for r in races
+            if r.fld == "table[]"
+        }
+        assert frozenset(("write", "read")) in kinds
+
+    def test_mutations_land_on_the_real_dict(self):
+        holder = _DictHolder()
+        with instrument(holder, container_attrs=("table",)):
+            holder.bump_guarded(n=7)
+        assert sum(holder.table.values()) == 7
+
+    def test_restore_reinstates_original_container(self):
+        holder = _DictHolder()
+        original = holder.table
+        with instrument(holder, container_attrs=("table",)):
+            assert holder.table is not original  # proxied
+            holder.bump_guarded(n=3)
+        assert holder.table is original
+        assert sum(original.values()) == 3
+
+    def test_observation_store_self_registers_race_free(self, tmp_path):
+        """The store registers itself (entries map included) with an
+        active sanitizer; its lock discipline must hold under fire."""
+        from repro.server import ObservationStore
+
+        with instrument() as san:
+            store = ObservationStore(tmp_path / "obs.jsonl", max_entries=32)
+            assert type(store).__name__.startswith("_Sanitized")
+
+            def worker(base):
+                for i in range(60):
+                    store.put("fp", (base, i), (0.1,), ())
+                    store.get("fp", (base, (i * 3) % 60), (0.1,))
+
+            run_threads(lambda: worker(0), lambda: worker(1))
+            races = san.races()
+        assert races == []
+
+    def test_observation_service_pool_race_free(self, mini_server):
+        """Concurrent priming through the service must stay clean: the
+        node's cache writes are lock-guarded, the pool is the only
+        mutation path, and the serial observe loop sees pure hits."""
+        from repro.server import ObservationService
+
+        from conftest import make_node
+
+        with instrument() as san:
+            node = make_node(
+                mini_server, lc_loads=(0.4, 0.3), n_bg=1, noise=0.01
+            )
+            service = ObservationService(node, parallel=True, workers=4)
+            rng_configs = [
+                node.space.equal_partition(),
+                node.space.max_allocation(0),
+                node.space.max_allocation(1),
+                node.space.max_allocation(2),
+            ]
+            service.observe_batch(rng_configs)
+            service.close()
+            races = san.races()
+        assert races == []
+
+
+@pytest.mark.sanitize
+class TestReentrantLockset:
+    class _Reentrant:
+        """Self-guarding helpers re-take the RLock (the obstore pattern)."""
+
+        def __init__(self):
+            self._lock = threading.RLock()
+            self.value = 0
+
+        def _bump_inner(self):
+            with self._lock:
+                self.value += 1
+
+        def bump(self, n=200):
+            for _ in range(n):
+                with self._lock:
+                    self._bump_inner()
+                    self.value += 1  # after the inner release
+
+    def test_inner_release_keeps_outer_hold(self):
+        """Regression: the held-set dropped an RLock token on the first
+        release, so accesses between an inner and the outer release
+        looked unguarded and produced false races."""
+        obj = self._Reentrant()
+        with instrument(obj, names=("Reentrant",)) as san:
+            run_threads(obj.bump, obj.bump)
+            races = san.races()
+        assert all(r.fld != "value" for r in races)
+        locksets = {
+            rec.lockset
+            for rec in san.accesses()
+            if rec.fld == "value" and rec.kind == "write"
+        }
+        assert frozenset() not in locksets
