@@ -16,8 +16,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .cache import DEFAULT_CACHE_FILE, LintCache, cache_key
 from .config import load_config
-from .engine import LintEngine
+from .engine import LintEngine, discover_files
 from .model import all_rules
 from .reporter import render_json, render_rule_catalog, render_text
 
@@ -69,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="Print the rule catalog and exit.",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="Re-run the full analysis even when the cache is fresh.",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=DEFAULT_CACHE_FILE,
+        metavar="PATH",
+        help=(
+            "Incremental cache location (default: "
+            f"{DEFAULT_CACHE_FILE} in the current directory)."
+        ),
     )
     return parser
 
@@ -140,6 +155,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    cache = None
+    key = None
+    if not args.no_cache:
+        try:
+            files = discover_files(paths, exclude=args.exclude)
+            key = cache_key(files, config)
+        except (FileNotFoundError, OSError) as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        cache = LintCache(Path(args.cache_file))
+        cached = cache.lookup(key)
+        if cached is not None:
+            print("repro-lint: cache hit, replaying findings", file=sys.stderr)
+            if args.format == "json":
+                print(render_json(cached))
+            else:
+                print(render_text(cached))
+            return 1 if cached else 0
+
     engine = LintEngine(config)
     try:
         project = engine.build_project(paths, exclude=args.exclude)
@@ -147,6 +181,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
     findings = engine.run(project)
+    if cache is not None and key is not None:
+        cache.store(key, findings)
 
     if args.format == "json":
         print(render_json(findings))

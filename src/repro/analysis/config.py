@@ -68,6 +68,28 @@ class LintConfig:
             disables the sum check — tests legitimately build literal
             matrices for servers of many shapes — leaving the
             server-independent Eq. 5 floor check active.
+        flow_blocking_calls: The RPL802 blocking-call registry:
+            ``"mod.fn"`` dotted names, ``".method"`` receiver-blind
+            method names (``.result``), or ``"Class.method"`` entries
+            resolved through the type oracle (physics observation).
+        flow_entrypoints: Extra loop/thread entry points for the FLOW
+            analyses as ``module.function`` or ``module.Class.method``
+            dotted names (``Executor.submit`` and ``Thread(target=...)``
+            targets are discovered automatically).
+        flow_longlived: Class names whose instances live as long as the
+            service; RPL805 tracks growth of their container attributes.
+        flow_bounded_containers: ``Owner.attr`` / ``module.NAME``
+            container tokens exempt from RPL805 (bounded by
+            construction, with the reason documented at the allowlist).
+        flow_shared_ok: Class names allowed to cross into worker
+            threads without registration (RPL803) — thread-safe by
+            composition.
+        flow_strict_modules: Path substrings inside which RPL804
+            enforces exception-safe release; tests may leak on assert
+            failure by design, service code may not.
+        flow_resources: Lifecycle registry as ``"Creator=rel1,rel2"``
+            entries mapping resource constructors to their release
+            methods.
     """
 
     select: Tuple[str, ...] = ()
@@ -129,6 +151,51 @@ class LintConfig:
     )
     units_modules: Tuple[str, ...] = ("repro/",)
     units_capacities: Tuple[str, ...] = ()
+    flow_blocking_calls: Tuple[str, ...] = (
+        ".result",
+        ".serve_forever",
+        "Node.observe",
+        "Node.prime",
+        "Node.true_performance",
+        "open",
+        "os.fsync",
+        "socket.create_connection",
+        "subprocess.Popen",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.run",
+        "time.sleep",
+    )
+    flow_entrypoints: Tuple[str, ...] = (
+        "repro.telemetry.serve._MetricsHandler.do_GET",
+    )
+    flow_longlived: Tuple[str, ...] = (
+        "MetricRegistry",
+        "Node",
+        "ObservationService",
+        "ObservationStore",
+        "Tracer",
+    )
+    flow_bounded_containers: Tuple[str, ...] = (
+        # Metric cardinality is code-determined: the set of metric
+        # names/labels is a static property of the instrumented source,
+        # the standard Prometheus registry model.
+        "MetricRegistry._metrics",
+    )
+    flow_shared_ok: Tuple[str, ...] = (
+        # Thread-safe by composition: an immutable facade over the
+        # lock-guarded MetricRegistry/Tracer and a read-only clock.
+        "Telemetry",
+    )
+    flow_strict_modules: Tuple[str, ...] = ("repro/",)
+    flow_resources: Tuple[str, ...] = (
+        "MetricsServer=server_close,shutdown",
+        "ObservationStore=close",
+        "ThreadPoolExecutor=shutdown",
+        "make_server=server_close,shutdown",
+        "open=close",
+        "socket.socket=close",
+    )
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -170,6 +237,18 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
     overrides = {}
     for key, value in table.items():
         name = key.replace("-", "_")
+        if name == "flow" and isinstance(value, dict):
+            # [tool.repro-lint.flow]: sub-keys map onto flow_* fields
+            # and hold lists (unlike the scalar-valued units table).
+            for sub_key, sub_value in value.items():
+                sub_name = f"flow_{sub_key.replace('-', '_')}"
+                if sub_name not in known or not isinstance(sub_value, list):
+                    raise ValueError(
+                        f"unknown [tool.repro-lint.flow] option {sub_key!r} "
+                        f"in {pyproject}"
+                    )
+                overrides[sub_name] = tuple(str(v) for v in sub_value)
+            continue
         if name not in known:
             raise ValueError(
                 f"unknown [tool.repro-lint] option {key!r} in {pyproject}"

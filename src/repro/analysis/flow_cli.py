@@ -1,0 +1,236 @@
+"""``repro-flow`` console entry point: the concurrency report.
+
+Renders the artifacts behind the FLOW (RPL8xx) lint family for human
+inspection::
+
+    repro-flow src/repro              # lock-order graph + escape report
+    repro-flow src/repro --check      # exit 1 on any lock-order cycle
+    repro-flow src/repro --format json
+
+The lock-order graph section lists every lock the analysis qualified
+(with its threading kind), every order edge with one establishing
+site, the reentrant (RLock) self-edges, and per-entry-point lock
+coverage — which locks each thread pool / handler can end up holding.
+Exit status: 0 ok, 1 cycles found with ``--check``, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import load_config
+from .engine import LintEngine
+from .flow import FlowAnalysis, flow_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description=(
+            "Concurrency & lifecycle report: lock-order graph, "
+            "blocking-under-lock, thread escapes (the FLOW lint family's "
+            "working state, rendered)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Files or directories to analyse (default: src/repro).",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="File or directory to skip during discovery (repeatable).",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="Report format.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="Exit 1 if the lock-order graph has any cycle.",
+    )
+    return parser
+
+
+def _entry_label(analysis: FlowAnalysis, key: str) -> str:
+    fn = analysis.project.functions.get(key)
+    if fn is None:
+        return key
+    return f"{fn.module}:{fn.qualname}"
+
+
+def render_text(analysis: FlowAnalysis) -> str:
+    lines: List[str] = []
+    lines.append("lock-order graph")
+    lines.append("================")
+    all_tokens = sorted(
+        {t for edge in analysis.edges for t in edge}
+        | set(analysis.reentrant)
+        | {t for locks in analysis.entry_locks.values() for t in locks}
+    )
+    if not all_tokens:
+        lines.append("  (no locks found)")
+    for token in all_tokens:
+        kind = analysis.lock_kinds.get(token, "unknown")
+        lines.append(f"  lock {token}  [{kind}]")
+    if analysis.edges:
+        lines.append("")
+        lines.append("order edges (held -> acquired)")
+        for (held, acquired), sites in sorted(analysis.edges.items()):
+            site = sites[0]
+            lines.append(
+                f"  {held} -> {acquired}  "
+                f"({site.module}:{site.line} in {site.fn_key.split(':')[-1]})"
+            )
+    if analysis.reentrant:
+        lines.append("")
+        lines.append("reentrant self-edges (RLock, legal)")
+        for token, sites in sorted(analysis.reentrant.items()):
+            lines.append(f"  {token}  ({len(sites)} site(s))")
+    lines.append("")
+    lines.append("entry-point lock coverage")
+    if not analysis.entry_locks:
+        lines.append("  (no thread-pool entry points discovered)")
+    for key, locks in sorted(analysis.entry_locks.items()):
+        label = _entry_label(analysis, key)
+        shown = ", ".join(locks) if locks else "(none)"
+        lines.append(f"  {label}: {shown}")
+    lines.append("")
+    if analysis.cycles:
+        lines.append(f"CYCLES: {len(analysis.cycles)}")
+        for cycle in analysis.cycles:
+            lines.append(
+                f"  {cycle.detail}  "
+                f"(first edge at {cycle.site.module}:{cycle.site.line})"
+            )
+    else:
+        lines.append("cycles: none")
+    lines.append("")
+    lines.append("thread-escape report")
+    lines.append("====================")
+    if not analysis.escapes:
+        lines.append("  (no unregistered values escape into worker threads)")
+    for escape in analysis.escapes:
+        lines.append(
+            f"  {escape.site.module}:{escape.site.line}  "
+            f"{escape.value!r} ({escape.cls})"
+        )
+    if analysis.blocking:
+        lines.append("")
+        lines.append("blocking under lock")
+        for hit in analysis.blocking:
+            via = f" via {hit.via}" if hit.via else ""
+            lines.append(
+                f"  {hit.site.module}:{hit.site.line}  {hit.call}{via}  "
+                f"holding {', '.join(hit.locks)}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(analysis: FlowAnalysis) -> str:
+    payload = {
+        "locks": {
+            token: analysis.lock_kinds.get(token, "unknown")
+            for token in sorted(
+                {t for edge in analysis.edges for t in edge}
+                | set(analysis.reentrant)
+            )
+        },
+        "edges": [
+            {
+                "held": held,
+                "acquired": acquired,
+                "module": sites[0].module,
+                "line": sites[0].line,
+                "function": sites[0].fn_key,
+            }
+            for (held, acquired), sites in sorted(analysis.edges.items())
+        ],
+        "reentrant": sorted(analysis.reentrant),
+        "cycles": [
+            {"tokens": list(c.tokens), "detail": c.detail}
+            for c in analysis.cycles
+        ],
+        "entry_locks": {
+            _entry_label(analysis, key): list(locks)
+            for key, locks in sorted(analysis.entry_locks.items())
+        },
+        "escapes": [
+            {
+                "module": e.site.module,
+                "line": e.site.line,
+                "value": e.value,
+                "class": e.cls,
+            }
+            for e in analysis.escapes
+        ],
+        "blocking": [
+            {
+                "module": b.site.module,
+                "line": b.site.line,
+                "call": b.call,
+                "locks": list(b.locks),
+                "via": b.via,
+            }
+            for b in analysis.blocking
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            parser.print_usage(sys.stderr)
+            print(
+                "repro-flow: no paths given and ./src/repro not found",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default)]
+
+    try:
+        config = load_config(Path(paths[0]))
+    except ValueError as error:
+        print(f"repro-flow: {error}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(config)
+    try:
+        project = engine.build_project(paths, exclude=args.exclude)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"repro-flow: {error}", file=sys.stderr)
+        return 2
+
+    analysis = flow_analysis(project, config)
+    if args.format == "json":
+        print(render_json(analysis))
+    else:
+        print(render_text(analysis))
+    if args.check and analysis.cycles:
+        print(
+            f"repro-flow: {len(analysis.cycles)} lock-order cycle(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -18,6 +18,7 @@ NUMERICS = "numerics"
 TELEMETRY = "telemetry"
 DATAFLOW = "dataflow"
 UNITS = "units"
+FLOW = "flow"
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
         rules_contracts,
         rules_dataflow,
         rules_determinism,
+        rules_flow,
         rules_numerics,
         rules_telemetry,
         rules_threadsafety,

@@ -311,13 +311,19 @@ class CLITEEngine:
         if telemetry.active and not self.node.telemetry.active:
             self.node.telemetry = telemetry
         spans_before = telemetry.tracer.finished_count
-        with telemetry.tracer.span(
-            "engine.optimize", jobs=self.node.n_jobs
-        ) as span:
-            result = self._optimize()
-            span.set("samples", result.samples_taken)
-            span.set("qos_met", result.qos_met)
-            span.set("converged", result.converged)
+        try:
+            with telemetry.tracer.span(
+                "engine.optimize", jobs=self.node.n_jobs
+            ) as span:
+                result = self._optimize()
+                span.set("samples", result.samples_taken)
+                span.set("qos_met", result.qos_met)
+                span.set("converged", result.converged)
+        finally:
+            # Release the observation pool's worker threads even when a
+            # run dies mid-loop; the service re-creates its pool lazily,
+            # so the engine stays reusable after this.
+            self._service.close()
         if not telemetry.active:
             return result
         telemetry.metrics.counter("engine.runs").add()

@@ -48,8 +48,9 @@ def register_shared(
 ) -> object:
     """Watch ``obj`` if a sanitizer is active; no-op (and ~free) if not.
 
-    ``container_attrs`` opts named mapping attributes into item-level
-    mutation tracking (see :meth:`~.shadow.Sanitizer.watch`).
+    ``container_attrs`` opts named container attributes (dicts, lists,
+    sets, deques) into item-level mutation tracking (see
+    :meth:`~.shadow.Sanitizer.watch`).
     """
     sanitizer = _ACTIVE
     if sanitizer is None:

@@ -23,6 +23,7 @@ bit-identical with the sanitizer enabled.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
@@ -210,6 +211,119 @@ class _ShadowMapping:
         self._inner.move_to_end(*args, **kwargs)
 
 
+class _ShadowSequence:
+    """Sequence/set proxy: the list/set/deque sibling of `_ShadowMapping`.
+
+    Same by-reference wrapping contract: every operation lands on the
+    original inner container and records against the synthetic field
+    ``"<attr>[]"``.  Covers the shared surface of :class:`list`,
+    :class:`set`, and :class:`collections.deque`; methods a given inner
+    type lacks (``add`` on a list, ``append`` on a set) raise the
+    inner type's own :class:`AttributeError` at call time, exactly as
+    the unwrapped container would.
+    """
+
+    __slots__ = ("_sanitizer", "_obj_name", "_fld", "_inner")
+
+    def __init__(
+        self, sanitizer: "Sanitizer", obj_name: str, fld: str, inner: Any
+    ) -> None:
+        self._sanitizer = sanitizer
+        self._obj_name = obj_name
+        self._fld = fld
+        self._inner = inner
+
+    def _note(self, kind: str) -> None:
+        if self._sanitizer._recording():
+            self._sanitizer._record(self._obj_name, self._fld, kind)
+
+    def _delegate(self, method: str, kind: str, *args: Any, **kwargs: Any):
+        bound = getattr(self._inner, method)  # AttributeError like inner
+        self._note(kind)
+        return bound(*args, **kwargs)
+
+    # -- reads ----------------------------------------------------------
+    def __getitem__(self, index: Any) -> Any:
+        self._note("read")
+        return self._inner[index]
+
+    def __contains__(self, value: Any) -> bool:
+        self._note("read")
+        return value in self._inner
+
+    def __len__(self) -> int:
+        self._note("read")
+        return len(self._inner)
+
+    def __iter__(self) -> Iterator[Any]:
+        self._note("read")
+        return iter(self._inner)
+
+    def __bool__(self) -> bool:
+        self._note("read")
+        return bool(self._inner)
+
+    def index(self, *args: Any) -> int:
+        return self._delegate("index", "read", *args)
+
+    def count(self, value: Any) -> int:
+        return self._delegate("count", "read", value)
+
+    def copy(self) -> Any:
+        return self._delegate("copy", "read")
+
+    def __repr__(self) -> str:
+        return f"_ShadowSequence({self._inner!r})"
+
+    # -- writes ---------------------------------------------------------
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._note("write")
+        self._inner[index] = value
+
+    def __delitem__(self, index: Any) -> None:
+        self._note("write")
+        del self._inner[index]
+
+    def append(self, value: Any) -> None:
+        self._delegate("append", "write", value)
+
+    def appendleft(self, value: Any) -> None:
+        self._delegate("appendleft", "write", value)
+
+    def extend(self, values: Any) -> None:
+        self._delegate("extend", "write", values)
+
+    def insert(self, index: int, value: Any) -> None:
+        self._delegate("insert", "write", index, value)
+
+    def add(self, value: Any) -> None:
+        self._delegate("add", "write", value)
+
+    def update(self, *others: Any) -> None:
+        self._delegate("update", "write", *others)
+
+    def pop(self, *args: Any) -> Any:
+        return self._delegate("pop", "write", *args)
+
+    def popleft(self) -> Any:
+        return self._delegate("popleft", "write")
+
+    def remove(self, value: Any) -> None:
+        self._delegate("remove", "write", value)
+
+    def discard(self, value: Any) -> None:
+        self._delegate("discard", "write", value)
+
+    def clear(self) -> None:
+        self._delegate("clear", "write")
+
+    def sort(self, **kwargs: Any) -> None:
+        self._delegate("sort", "write", **kwargs)
+
+    def reverse(self) -> None:
+        self._delegate("reverse", "write")
+
+
 class Sanitizer:
     """Records cross-thread accesses on watched objects, finds races."""
 
@@ -262,11 +376,13 @@ class Sanitizer:
 
         ``lock_attrs`` names lock-holding attributes to instrument in
         addition to the auto-detected ``threading.Lock``/``RLock``
-        instance attributes.  ``container_attrs`` names mapping
-        attributes (dict/``OrderedDict``) whose *item-level* mutations
-        should be tracked too — attribute instrumentation alone only
-        sees the attribute read that fetches the container, not the
-        ``d[k] = v`` that races.  The default name carries the object id
+        instance attributes.  ``container_attrs`` names container
+        attributes (dict/``OrderedDict`` via :class:`_ShadowMapping`;
+        list/set/``deque`` via :class:`_ShadowSequence`) whose
+        *item-level* mutations should be tracked too — attribute
+        instrumentation alone only sees the attribute read that fetches
+        the container, not the ``d[k] = v`` or ``lst.append(v)`` that
+        races.  The default name carries the object id
         so records from distinct same-class instances never merge (which
         would fabricate cross-thread pairs).
         """
@@ -286,10 +402,18 @@ class Sanitizer:
                 )
         for attr in container_attrs:
             value = instance_dict.get(attr)
-            if value is None or isinstance(value, _ShadowMapping):
+            if value is None or isinstance(
+                value, (_ShadowMapping, _ShadowSequence)
+            ):
                 continue
+            if isinstance(value, dict):
+                proxy_cls: type = _ShadowMapping
+            elif isinstance(value, (list, set, deque)):
+                proxy_cls = _ShadowSequence
+            else:
+                continue  # unknown container kind: leave unwrapped
             originals[attr] = value
-            instance_dict[attr] = _ShadowMapping(
+            instance_dict[attr] = proxy_cls(
                 self, obj_name, f"{attr}[]", value
             )
         shadow = self._shadow_class(cls, obj_name)

@@ -241,7 +241,9 @@ class Node:
         self._cache_misses = 0
         self._physics_count = 0
         register_shared(
-            self, name=f"Node@{id(self):x}", container_attrs=("_obs_cache",)
+            self,
+            name=f"Node@{id(self):x}",
+            container_attrs=("_obs_cache", "_history"),
         )
 
     # ------------------------------------------------------------------

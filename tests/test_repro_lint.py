@@ -372,6 +372,114 @@ class TestUnitsRules:
 
 
 # ----------------------------------------------------------------------
+# Flow family (RPL8xx)
+# ----------------------------------------------------------------------
+class TestFlowRules:
+    FLOW_IDS = ("RPL801", "RPL802", "RPL803", "RPL804", "RPL805")
+
+    #: Lifecycle is src-scoped by default; the fixture corpus opts in
+    #: with an everywhere-matching strict prefix and retargets the
+    #: long-lived class list at the fixture's own classes.
+    OVERRIDES = dict(
+        select=FLOW_IDS,
+        flow_strict_modules=("",),
+        flow_longlived=("EventLog", "BoundedLog"),
+    )
+
+    def test_bad_fixture_triggers_all_five_rules(self):
+        findings = lint_fixture("flow_bad.py", **self.OVERRIDES)
+        assert sorted(set(rule_ids(findings))) == sorted(self.FLOW_IDS), (
+            render_text(findings)
+        )
+
+    def test_good_fixture_is_clean(self):
+        findings = lint_fixture("flow_good.py", **self.OVERRIDES)
+        assert findings == [], render_text(findings)
+
+    def test_rpl801_names_the_full_cycle(self):
+        findings = lint_fixture(
+            "flow_bad.py", **{**self.OVERRIDES, "select": ("RPL801",)}
+        )
+        assert len(findings) == 1
+        assert "OrderA._lock" in findings[0].message
+        assert "OrderB._lock" in findings[0].message
+
+    def test_rpl802_direct_and_interprocedural(self):
+        findings = lint_fixture(
+            "flow_bad.py", **{**self.OVERRIDES, "select": ("RPL802",)}
+        )
+        messages = [f.message for f in findings]
+        assert any(
+            m.startswith("blocking call time.sleep") for m in messages
+        )
+        assert any("'Chatty._drain'" in m for m in messages)
+
+    def test_rpl803_names_value_and_class(self):
+        findings = lint_fixture(
+            "flow_bad.py", **{**self.OVERRIDES, "select": ("RPL803",)}
+        )
+        assert any(
+            "'state'" in f.message and "RequestState" in f.message
+            for f in findings
+        )
+
+    def test_rpl804_distinguishes_leak_kinds(self):
+        findings = lint_fixture(
+            "flow_bad.py", **{**self.OVERRIDES, "select": ("RPL804",)}
+        )
+        messages = " | ".join(f.message for f in findings)
+        assert "never released" in messages
+        assert "exception paths" in messages
+        assert "finally" in messages
+
+    def test_rpl804_skipped_outside_strict_modules(self):
+        findings = lint_fixture(
+            "flow_bad.py",
+            **{**self.OVERRIDES, "flow_strict_modules": ("src/repro/",)},
+        )
+        assert "RPL804" not in set(rule_ids(findings))
+
+    def test_rpl805_names_container_and_entry(self):
+        findings = lint_fixture(
+            "flow_bad.py", **{**self.OVERRIDES, "select": ("RPL805",)}
+        )
+        containers = {f.message.split()[1] for f in findings}
+        assert any(c.endswith(".EVENTS") for c in containers)
+        assert "EventLog.entries" in containers
+        assert all("reachable from loop entry" in f.message for f in findings)
+
+    def test_rpl805_allowlist_silences_container(self):
+        findings = lint_fixture(
+            "flow_bad.py",
+            **{
+                **self.OVERRIDES,
+                "select": ("RPL805",),
+                "flow_bounded_containers": (
+                    "lint_fixtures.flow_bad.EVENTS",
+                    "EventLog.entries",
+                ),
+            },
+        )
+        assert findings == [], render_text(findings)
+
+    def test_suppression_silences_flow_finding(self, tmp_path):
+        snippet = tmp_path / "suppressed_flow.py"
+        snippet.write_text(
+            "import threading\n"
+            "import time\n"
+            "class Noisy:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def tick(self):\n"
+            "        with self._lock:\n"
+            "            # repro-lint: disable-next-line=RPL802\n"
+            "            time.sleep(0.01)\n"
+        )
+        findings = run_lint([snippet], fixture_config(select=("RPL802",)))
+        assert findings == [], render_text(findings)
+
+
+# ----------------------------------------------------------------------
 # Suppressions, config, reporters
 # ----------------------------------------------------------------------
 class TestSuppressionsAndConfig:
@@ -400,6 +508,20 @@ class TestSuppressionsAndConfig:
         config = load_config(tmp_path / "module.py")
         assert config.hot_path == ("custom/",)
         assert config.ignore == ("RPL103",)
+
+    def test_flow_table_overrides(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint.flow]\nlonglived = ["EventLog"]\n'
+        )
+        config = load_config(tmp_path / "module.py")
+        assert config.flow_longlived == ("EventLog",)
+
+    def test_unknown_flow_key_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint.flow]\nlong-lived = ["EventLog"]\n'
+        )
+        with pytest.raises(ValueError, match="long-lived"):
+            load_config(tmp_path / "module.py")
 
     def test_unknown_config_key_rejected(self, tmp_path):
         (tmp_path / "pyproject.toml").write_text(
@@ -449,6 +571,7 @@ class TestRegistryAndRepoTree:
         "RPL501", "RPL502",
         "RPL601", "RPL602", "RPL603",
         "RPL701", "RPL702", "RPL703", "RPL704", "RPL705",
+        "RPL801", "RPL802", "RPL803", "RPL804", "RPL805",
     }
 
     def test_registry_is_complete(self):

@@ -339,6 +339,34 @@ class TestContainerTracking:
         assert holder.table is original
         assert sum(original.values()) == 3
 
+    def test_sequence_attrs_dispatch_by_type(self):
+        """watch() picks the proxy per container kind; unknown kinds
+        are left unwrapped rather than broken."""
+        import collections
+
+        class Holder:
+            def __init__(self):
+                self.items = []
+                self.seen = set()
+                self.ring = collections.deque(maxlen=4)
+                self.table = {}
+                self.opaque = frozenset()
+
+        holder = Holder()
+        with instrument(
+            holder,
+            container_attrs=("items", "seen", "ring", "table", "opaque"),
+        ):
+            holder.items.append(1)
+            holder.seen.add(2)
+            holder.ring.append(3)
+            holder.table["k"] = 4
+            assert holder.opaque == frozenset()  # untouched
+        assert holder.items == [1]
+        assert holder.seen == {2}
+        assert list(holder.ring) == [3]
+        assert holder.table == {"k": 4}
+
     def test_observation_store_self_registers_race_free(self, tmp_path):
         """The store registers itself (entries map included) with an
         active sanitizer; its lock discipline must hold under fire."""
@@ -380,6 +408,116 @@ class TestContainerTracking:
             service.close()
             races = san.races()
         assert races == []
+
+
+# ----------------------------------------------------------------------
+# Container (list/set/deque) mutation tracking
+# ----------------------------------------------------------------------
+class _SeqHolder:
+    """Toy shared object appending to a list attribute, (un)guarded."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.log = []
+        self.tags = set()
+
+    def append_unguarded(self, n=300):
+        for i in range(n):
+            self.log.append(i)
+
+    def append_guarded(self, n=300):
+        for i in range(n):
+            with self._lock:
+                self.log.append(i)
+
+    def tag_unguarded(self, n=300):
+        for i in range(n):
+            self.tags.add(i % 11)
+
+    def read_log(self, n=300):
+        total = 0
+        for _ in range(n):
+            total += len(self.log)
+        return total
+
+
+@pytest.mark.sanitize
+class TestSequenceTracking:
+    def test_cross_thread_list_append_race_detected(self):
+        """Two threads calling ``list.append`` with no common lock is
+        the race RPL803/RPL805 reason about statically; the shadow
+        sequence proxy must see it dynamically too."""
+        holder = _SeqHolder()
+        with instrument(holder, container_attrs=("log",)) as san:
+            run_threads(holder.append_unguarded, holder.append_unguarded)
+            races = san.races()
+        assert any(r.fld == "log[]" for r in races)
+
+    def test_guarded_list_append_is_clean(self):
+        holder = _SeqHolder()
+        with instrument(holder, container_attrs=("log",)) as san:
+            run_threads(holder.append_guarded, holder.append_guarded)
+            races = san.races()
+        assert all(r.fld != "log[]" for r in races)
+
+    def test_list_write_read_race_detected(self):
+        holder = _SeqHolder()
+        with instrument(holder, container_attrs=("log",)) as san:
+            run_threads(holder.append_unguarded, holder.read_log)
+            races = san.races()
+        kinds = {
+            frozenset((r.first.kind, r.second.kind))
+            for r in races
+            if r.fld == "log[]"
+        }
+        assert frozenset(("write", "read")) in kinds
+
+    def test_set_add_race_detected(self):
+        holder = _SeqHolder()
+        with instrument(holder, container_attrs=("tags",)) as san:
+            run_threads(holder.tag_unguarded, holder.tag_unguarded)
+            races = san.races()
+        assert any(r.fld == "tags[]" for r in races)
+
+    def test_deque_operations_recorded(self):
+        import collections
+
+        class Ring:
+            def __init__(self):
+                self.ring = collections.deque(maxlen=8)
+
+        ring = Ring()
+        with instrument(ring, container_attrs=("ring",)) as san:
+            ring.ring.append(1)
+            ring.ring.appendleft(0)
+            ring.ring.popleft()
+            accesses = san.accesses()
+        writes = [
+            a for a in accesses if a.fld == "ring[]" and a.kind == "write"
+        ]
+        assert writes and writes[0].count == 3
+
+    def test_restore_reinstates_original_list(self):
+        holder = _SeqHolder()
+        original = holder.log
+        with instrument(holder, container_attrs=("log",)):
+            assert holder.log is not original  # proxied
+            holder.append_guarded(n=3)
+        assert holder.log is original
+        assert original == [0, 1, 2]
+
+    def test_node_history_registers_as_sequence(self, mini_server):
+        """Node now opts ``_history`` into item-level tracking; serial
+        observes must stay race-free with the proxy installed."""
+        from conftest import make_node
+
+        with instrument() as san:
+            node = make_node(mini_server, lc_loads=(0.4,), n_bg=1)
+            node.observe(node.space.equal_partition())
+            assert type(node._history).__name__ == "_ShadowSequence"
+            races = san.races()
+        assert races == []
+        assert len(node._history) == 1
 
 
 @pytest.mark.sanitize
