@@ -42,6 +42,13 @@ from repro.experiments import MixSpec
 from repro.schedulers import CLITEPolicy
 from repro.server import NodeBudget, ObservationStore
 from repro.telemetry import Telemetry, WallClock
+from repro.warehouse import (
+    ScenarioConfig,
+    WarehouseFederation,
+    WarehouseService,
+    load_into,
+    synthesize,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -82,6 +89,10 @@ BASELINE = {
     # so both ratios were definitionally 1.0 before this harness landed.
     "obstore": {"warm_speedup": 1.0},
     "batch": {"k4_speedup_vs_k1": 1.0},
+    # The seed had no event-driven service either: events/sec has no
+    # baseline rate (None keeps it out of the speedup table), and the
+    # warm-store probe ratio was definitionally 1.0 pre-subsystem.
+    "warehouse": {"events_per_sec": None, "warm_probe_speedup": 1.0},
 }
 
 
@@ -232,6 +243,74 @@ def bench_batch(ks=(1, 2, 4, 8), max_samples=60, seed=0):
     return out
 
 
+def bench_warehouse(n_jobs=120, probe_jobs=24, seed=31):
+    """Event-driven service throughput plus cold/warm admission probes.
+
+    Part one plays a synthetic scenario against the issue's reference
+    topology — 200 nodes split across 2 shards with quick probes and
+    periodic QoS re-checks — and reports simulated scheduler events per
+    wall second.  The topology is fixed; quick/full modes only scale the
+    job count, so the per-event rate stays comparable.
+
+    Part two replays one small arrival stream through full-CLITE
+    admission probes twice against the same observation-store file (a
+    fresh service and a fresh store object each pass, as in
+    :func:`bench_obstore`), isolating what the shared store buys a
+    *service*: recurring job-set probes with the physics already paid.
+    """
+    events = synthesize(
+        ScenarioConfig(n_jobs=n_jobs, duration_s=900.0, seed=seed)
+    )
+    with WarehouseFederation(
+        2, 100, recheck_period_s=120.0, seed=seed
+    ) as federation:
+        load_into(federation, events)
+        horizon = federation.loop.queue.last_time()
+        t0 = CLOCK.now()
+        # run_until counts everything processed, re-check ticks included.
+        processed = federation.run_until(horizon)
+        events_dt = CLOCK.now() - t0
+
+    probe_events = synthesize(
+        ScenarioConfig(n_jobs=probe_jobs, duration_s=600.0, seed=seed)
+    )
+    probe_engine = CLITEConfig(
+        max_iterations=8, post_qos_iterations=2, refine_budget=3,
+        confirm_top=1, n_restarts=2,
+    )
+
+    def sweep(store):
+        service = WarehouseService(
+            16, probe="clite", engine_config=probe_engine, seed=seed,
+            store=store,
+        )
+        load_into(service, probe_events)
+        t0 = CLOCK.now()
+        service.run_to_completion()
+        return CLOCK.now() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "warehouse-observations.jsonl"
+        with ObservationStore(path) as store:
+            cold_dt = sweep(store)
+            cold_misses = store.stats().misses
+            store.flush()
+        with ObservationStore(path) as store:
+            warm_dt = sweep(store)
+            warm_stats = store.stats()
+    return {
+        "events": processed,
+        "seconds": events_dt,
+        "events_per_sec": processed / events_dt,
+        "probe_cold_seconds": cold_dt,
+        "probe_warm_seconds": warm_dt,
+        "probe_cold_misses": cold_misses,
+        "probe_warm_misses": warm_stats.misses,
+        "probe_warm_hits": warm_stats.hits,
+        "warm_probe_speedup": cold_dt / warm_dt,
+    }
+
+
 def speedups(current):
     """current/baseline for every rate both sections report."""
     out = {}
@@ -271,6 +350,12 @@ ENABLED_BUDGET = 0.90
 #: full run.
 OBSTORE_BUDGET = 0.55
 BATCH_BUDGET = 0.65
+
+#: The warehouse events/sec floor vs the tracked rate.  More generous
+#: than CHECK_THRESHOLD: quick mode schedules fewer jobs over the same
+#: 200-node topology, so fixed per-run costs (calibration, fleet
+#: construction) weigh more heavily on the quick rate.
+WAREHOUSE_BUDGET = 0.50
 
 
 def check_regression(current) -> int:
@@ -317,9 +402,36 @@ def check_regression(current) -> int:
     print(f"check: warm-store physics runs {warm_physics} (must be 0): {physics_verdict}")
     failed = failed or warm_physics != 0
 
+    tracked_warehouse = tracked["current"].get("warehouse")
+    if tracked_warehouse is None:
+        print("check: no tracked warehouse section; events/sec budget skipped")
+    else:
+        reference = tracked_warehouse["events_per_sec"]
+        measured = current["warehouse"]["events_per_sec"]
+        ratio = measured / reference
+        verdict = "ok" if ratio >= WAREHOUSE_BUDGET else "REGRESSION"
+        print(
+            f"check: warehouse {measured:.0f} events/s vs tracked "
+            f"{reference:.0f} events/s (x{ratio:.2f}, floor "
+            f"x{WAREHOUSE_BUDGET}): {verdict}"
+        )
+        failed = failed or ratio < WAREHOUSE_BUDGET
+
+    # Same-seed warm probes must replay entirely from the store: any
+    # miss means the service's probe path stopped being deterministic
+    # (or stopped consulting the store), whatever the timings say.
+    warm_misses = current["warehouse"]["probe_warm_misses"]
+    misses_verdict = "ok" if warm_misses == 0 else "REGRESSION"
+    print(
+        f"check: warehouse warm-probe store misses {warm_misses} "
+        f"(must be 0): {misses_verdict}"
+    )
+    failed = failed or warm_misses != 0
+
     for section, key, budget in (
         ("obstore", "warm_speedup", OBSTORE_BUDGET),
         ("batch", "k4_speedup_vs_k1", BATCH_BUDGET),
+        ("warehouse", "warm_probe_speedup", OBSTORE_BUDGET),
     ):
         tracked_section = tracked["current"].get(section)
         if tracked_section is None or key not in tracked_section:
@@ -393,6 +505,7 @@ def main() -> int:
             "gp": bench_gp(n_train=20, reps=5),
             "obstore": bench_obstore(n_configs=80),
             "batch": bench_batch(ks=(1, 4), max_samples=24),
+            "warehouse": bench_warehouse(n_jobs=40, probe_jobs=10),
         }
     else:
         current = {
@@ -402,6 +515,7 @@ def main() -> int:
             "gp": bench_gp(),
             "obstore": bench_obstore(),
             "batch": bench_batch(),
+            "warehouse": bench_warehouse(),
         }
 
     report = {

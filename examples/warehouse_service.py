@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A day in the life of the warehouse service.
+
+`repro.cluster` answers one placement question; `repro.warehouse` runs
+the datacenter over simulated time.  This example drives a 2-shard,
+60-node federation through a synthesized churn scenario — jobs arrive,
+ramp their load through phases, and depart — and prints the operator's
+rolling view: utilization, QoS health, and what migration cost.
+
+Everything is deterministic: run it twice and the timelines match byte
+for byte, concurrent shard probing included.
+"""
+
+from repro.telemetry import SimulatedClock, Telemetry
+from repro.warehouse import (
+    MigrationModel,
+    ScenarioConfig,
+    WarehouseFederation,
+    load_into,
+    synthesize,
+)
+
+REPORT_EVERY_S = 120.0
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    federation = WarehouseFederation(
+        n_shards=2,
+        nodes_per_shard=30,
+        routing="least-loaded",
+        concurrent_probes=True,
+        recheck_period_s=60.0,
+        migration=MigrationModel(cost_s=5.0),
+        clock=clock,
+        telemetry=Telemetry.enabled(clock=clock),
+        seed=0,
+    )
+
+    config = ScenarioConfig(n_jobs=40, duration_s=720.0, lc_fraction=0.5, seed=11)
+    with federation:
+        n_events = load_into(federation, synthesize(config))
+        print(
+            f"2 shards x 30 nodes, {n_events} scheduled arrivals/departures, "
+            f"{config.duration_s:.0f}s of simulated time:\n"
+        )
+
+        print("   t(s)  jobs  util   qos-met  migrations  cost(s)")
+        t = 0.0
+        while t < config.duration_s:
+            t += REPORT_EVERY_S
+            federation.run_until(t)
+            status = federation.status()
+            print(
+                f"  {status['time_s']:5.0f}  {status['jobs_running']:4d}"
+                f"  {status['utilization']:.2f}"
+                f"  {status['qos_met_fraction']:7.2f}"
+                f"  {status['migrations']:10d}"
+                f"  {status['migration_cost_s']:7.1f}"
+            )
+        federation.run_to_completion()
+        final = federation.status()
+
+    admitted = sum(shard["admitted"] for shard in final["shards"])
+    dropped = sum(shard["dropped"] for shard in final["shards"])
+    print(
+        f"\nFinal: {final['arrivals']} arrivals, {admitted} admitted,"
+        f" {final['rejections']} rejected, {final['departures']} departed,"
+        f"\n       {final['migrations']} migrations charged"
+        f" {final['migration_cost_s']:.1f} simulated seconds,"
+        f" {dropped} dropped."
+    )
+    for index, shard in enumerate(final["shards"]):
+        print(
+            f"  shard {index}: {shard['admitted']} admitted,"
+            f" {shard['rechecks']} re-checks,"
+            f" {shard['recheck_failures']} caught a ramp"
+        )
+
+    print(
+        "\nReading: admission keeps every node provably QoS-safe at its"
+        "\ncurrent load; re-checks catch jobs that ramp past what their"
+        "\nnode can absorb and migrate the cheapest tenant away.  The"
+        "\nsame run serves HTTP: repro-warehouse run --serve"
+    )
+
+
+if __name__ == "__main__":
+    main()

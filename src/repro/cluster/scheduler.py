@@ -353,7 +353,16 @@ class CLITEPlacement(PlacementPolicy):
                         target = node_state.index
                         break
                 if target is None:
-                    empty = [n for n in cluster.nodes if n.n_jobs == 0]
+                    # The fresh-machine fallback goes through can_host
+                    # too: an empty node can still refuse a request
+                    # (zero-capacity spec, retried name) and silently
+                    # skipping the check let the service loop
+                    # double-place colliding retries.
+                    empty = [
+                        n
+                        for n in cluster.nodes
+                        if n.n_jobs == 0 and n.can_host(request)
+                    ]
                     if empty:
                         target = empty[0].index
                     else:

@@ -104,6 +104,16 @@ class ClusterNode:
             index=self.index, spec=self.spec, requests=self.requests + [request]
         )
 
+    def without_request(self, name: str) -> "ClusterNode":
+        """A copy of this node after the named request departed."""
+        if name not in self.job_names():
+            raise KeyError(f"node {self.index} hosts no request {name!r}")
+        return ClusterNode(
+            index=self.index,
+            spec=self.spec,
+            requests=[r for r in self.requests if r.request_name != name],
+        )
+
     def build_node(
         self,
         seed: Optional[int] = None,
@@ -159,8 +169,35 @@ class Cluster:
         self.nodes = [ClusterNode(i, s) for i, s in enumerate(per_node)]
 
     def place(self, node_index: int, request: JobRequest) -> None:
-        """Commit a placement."""
+        """Commit a placement.
+
+        ``node_index`` must identify an existing node.  Negative indices
+        are rejected rather than wrapped: Python list indexing would
+        silently target the node counted from the *end* of the fleet,
+        corrupting the placement without any error.
+        """
+        if not isinstance(node_index, int) or isinstance(node_index, bool):
+            raise ValueError(
+                f"node_index must be an int, got {type(node_index).__name__}"
+            )
+        if not 0 <= node_index < len(self.nodes):
+            raise IndexError(
+                f"node_index {node_index} out of range for a "
+                f"{len(self.nodes)}-node cluster"
+            )
         self.nodes[node_index] = self.nodes[node_index].with_request(request)
+
+    def remove(self, name: str) -> int:
+        """Remove the named request; returns the index of its ex-host.
+
+        The freed capacity is immediately visible to later placements —
+        a node whose last job departs returns to the empty pool.
+        """
+        for node in self.nodes:
+            if name in node.job_names():
+                self.nodes[node.index] = node.without_request(name)
+                return node.index
+        raise KeyError(f"no request named {name!r} in the cluster")
 
     def used_nodes(self) -> List[ClusterNode]:
         return [n for n in self.nodes if n.n_jobs > 0]

@@ -1,0 +1,79 @@
+"""Job migration with a modeled cost.
+
+When a node fails its QoS re-check (a co-located LC job's load ramp has
+outgrown what any partition of the node can absorb), the warehouse
+evicts the *cheapest-to-move* job and re-admits it elsewhere.  Moving a
+job is not free on real hardware — state must be drained, caches
+re-warmed — so every migration charges a configurable penalty of
+simulated seconds of degraded throughput, accounted per-interval in the
+rolling report (the ProKube-style per-iteration placement/migration
+accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cluster.state import ClusterNode, JobRequest
+from ..core.units import Seconds
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed (or failed) migration decision."""
+
+    time_s: Seconds
+    job: str
+    from_node: int
+    #: Destination node index, or -1 when no node would re-admit the job
+    #: (it is then dropped and counted as a rejection).
+    to_node: int
+    cost_s: Seconds
+
+    @property
+    def succeeded(self) -> bool:
+        return self.to_node >= 0
+
+
+@dataclass(frozen=True)
+class MigrationModel:
+    """Victim selection plus the modeled cost of one move.
+
+    Attributes:
+        cost_s: Simulated seconds of degraded service charged per
+            migrated job (drain + transfer + cache re-warm).
+        max_evictions_per_check: Upper bound on how many jobs one
+            failing re-check may push off a node; the node's last
+            remaining job is never evicted (a job that violates QoS
+            alone on a machine violates it anywhere).
+    """
+
+    cost_s: Seconds = 5.0
+    max_evictions_per_check: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cost_s < 0:
+            raise ValueError("migration cost cannot be negative")
+        if self.max_evictions_per_check < 1:
+            raise ValueError("max_evictions_per_check must be >= 1")
+
+    def select_victim(
+        self, node_state: ClusterNode, t: Seconds
+    ) -> Optional[JobRequest]:
+        """The cheapest-to-move request on ``node_state``, or None.
+
+        BG jobs move first — they carry no QoS target, so displacing
+        one can never trade a violation for another — then LC jobs by
+        ascending load (lighter jobs drain and re-admit more easily).
+        Names break ties deterministically.
+        """
+        if node_state.n_jobs <= 1:
+            return None
+
+        def cost_key(request: JobRequest) -> Tuple[int, float, str]:
+            if not request.is_lc:
+                return (0, 0.0, request.request_name)
+            return (1, float(request.load or 0.0), request.request_name)
+
+        return min(node_state.requests, key=cost_key)

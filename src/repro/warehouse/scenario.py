@@ -1,0 +1,141 @@
+"""Deterministic arrival/departure scenarios for warehouse runs.
+
+A scenario is a flat, pre-sorted tuple of submit/depart events drawn
+from a seeded generator over the paper's workload catalogs (Tailbench
+LC + PARSEC BG).  Synthesis is separated from execution so that the
+same scenario can be replayed against different services — one big
+cluster vs. a sharded federation, quick vs. full probes — and so that
+determinism tests can assert that two same-seed syntheses are equal
+before ever touching a scheduler.
+
+LC jobs get piecewise-constant load schedules (the Fig. 16 dynamic-load
+shape): phase boundaries are spread evenly across the job's lifetime,
+phase loads are drawn from the seeded stream, so re-check ticks see
+genuine load ramps that exercise migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..core.units import Seconds
+from ..workloads import (
+    BG_NAMES,
+    LC_NAMES,
+    LoadSchedule,
+    bg_workload,
+    lc_workload,
+)
+from .events import WarehouseJob
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the synthetic job stream.
+
+    Attributes:
+        n_jobs: Jobs submitted over the run.
+        duration_s: Scenario horizon; arrivals land in the first 70% of
+            it, so late departures and re-checks have room to play out.
+        lc_fraction: Probability a job is latency-critical.
+        mean_lifetime_s: Mean job lifetime (uniform in 0.25x..1.75x).
+        min_load / max_load: Range LC phase loads are drawn from.
+        n_phases: Load-schedule phases per LC job.
+        seed: The one seed behind every random draw.
+    """
+
+    n_jobs: int = 200
+    duration_s: Seconds = 600.0
+    lc_fraction: float = 0.5
+    mean_lifetime_s: Seconds = 300.0
+    min_load: float = 0.15
+    max_load: float = 0.9
+    n_phases: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("a scenario needs at least one job")
+        if self.duration_s <= 0 or self.mean_lifetime_s <= 0:
+            raise ValueError("duration and lifetime must be positive")
+        if not 0 <= self.lc_fraction <= 1:
+            raise ValueError("lc_fraction must be in [0, 1]")
+        if not 0 < self.min_load <= self.max_load <= 1.0:
+            raise ValueError("need 0 < min_load <= max_load <= 1")
+        if self.n_phases < 1:
+            raise ValueError("n_phases must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scripted event: a submission (with its job) or a departure."""
+
+    time_s: Seconds
+    kind: str  # "submit" | "depart"
+    name: str
+    job: Optional[WarehouseJob] = None
+
+
+class SubmitTarget(Protocol):
+    """Anything a scenario can be loaded into (service or federation)."""
+
+    def submit(self, job: WarehouseJob, at: Seconds) -> int: ...
+
+    def depart(self, name: str, at: Seconds) -> int: ...
+
+
+def synthesize(config: ScenarioConfig) -> Tuple[ScenarioEvent, ...]:
+    """The scripted event stream — a pure function of ``config``."""
+    rng = np.random.default_rng(config.seed)
+    lc_pool = [lc_workload(name) for name in LC_NAMES]
+    bg_pool = [bg_workload(name) for name in BG_NAMES]
+    events = []
+    for k in range(config.n_jobs):
+        arrival = float(rng.uniform(0.0, 0.7 * config.duration_s))
+        lifetime = float(rng.uniform(0.25, 1.75)) * config.mean_lifetime_s
+        if float(rng.random()) < config.lc_fraction:
+            workload = lc_pool[int(rng.integers(len(lc_pool)))]
+            name = f"lc-{k:04d}-{workload.name}"
+            loads = rng.uniform(
+                config.min_load, config.max_load, size=config.n_phases
+            )
+            # Phase boundaries are absolute simulated seconds, evenly
+            # spread across the lifetime; only the loads are random.
+            steps = [(0.0, float(loads[0]))]
+            for i in range(1, config.n_phases):
+                steps.append(
+                    (
+                        arrival + lifetime * i / config.n_phases,
+                        float(loads[i]),
+                    )
+                )
+            job = WarehouseJob.lc(workload, LoadSchedule.steps(steps), name)
+        else:
+            workload_bg = bg_pool[int(rng.integers(len(bg_pool)))]
+            name = f"bg-{k:04d}-{workload_bg.name}"
+            job = WarehouseJob.bg(workload_bg, name)
+        events.append(ScenarioEvent(arrival, "submit", name, job))
+        departure = arrival + lifetime
+        if departure < config.duration_s:
+            events.append(ScenarioEvent(departure, "depart", name))
+    order = {id(e): i for i, e in enumerate(events)}
+    events.sort(key=lambda e: (e.time_s, order[id(e)]))
+    return tuple(events)
+
+
+def load_into(target: SubmitTarget, events: Tuple[ScenarioEvent, ...]) -> int:
+    """Schedule every scenario event on ``target``; returns the count.
+
+    Events are scheduled in stream order, so the (time, seq) heap order
+    — and therefore the whole timeline — is determined by the scenario.
+    """
+    for event in events:
+        if event.kind == "submit":
+            assert event.job is not None
+            target.submit(event.job, at=event.time_s)
+        else:
+            target.depart(event.name, at=event.time_s)
+    return len(events)

@@ -104,6 +104,21 @@ class TestCluster:
         assert cluster.machines_used() == 1
         assert cluster.placements() == {"a": 1, "b": 1}
 
+    def test_place_validates_node_index(self, mini_server):
+        """Regression: out-of-range indices were accepted silently —
+        negative ones wrapped via Python list indexing and corrupted the
+        placement (the request landed on the node counted from the end)."""
+        cluster = Cluster(n_nodes=3, spec=mini_server)
+        with pytest.raises(IndexError, match="out of range"):
+            cluster.place(3, lc_request("a"))
+        with pytest.raises(IndexError, match="out of range"):
+            cluster.place(-1, lc_request("a"))
+        with pytest.raises(ValueError, match="must be an int"):
+            cluster.place(True, lc_request("a"))
+        assert cluster.machines_used() == 0
+        cluster.place(2, lc_request("a"))
+        assert cluster.placements() == {"a": 2}
+
 
 class TestVerifyNode:
     def test_feasible_node_verifies(self, mini_server):
@@ -295,6 +310,23 @@ class TestPolicies:
             FirstFitPlacement(max_jobs_per_node=0)
         with pytest.raises(ValueError):
             CLITEPlacement(max_jobs_per_node=0)
+
+    def test_clite_fallback_respects_can_host(self, mini_server):
+        """Regression: the fresh-machine fallback skipped can_host, so a
+        request an empty node could not actually absorb crashed placement
+        with ValueError instead of being cleanly rejected."""
+
+        class _ZeroCapacitySpec:
+            def max_jobs(self):
+                return 0
+
+        cluster = Cluster(n_nodes=2, spec=mini_server)
+        cluster.nodes[0] = ClusterNode(0, _ZeroCapacitySpec())
+        cluster.nodes[1] = ClusterNode(1, _ZeroCapacitySpec())
+        policy = CLITEPlacement(engine_config=FAST_ENGINE, verify=False)
+        out = policy.place(cluster, [lc_request("svc", 0.3)], seed=0)
+        assert out.rejected == ("svc",)
+        assert out.machines_used == 0
 
 
 class TestHeterogeneousCluster:

@@ -1,0 +1,195 @@
+"""Sharded federation: routing policies, concurrency equivalence, scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_bg, make_lc
+from repro.warehouse import (
+    ROUTING_POLICIES,
+    ScenarioConfig,
+    WarehouseFederation,
+    WarehouseJob,
+    home_shard,
+    load_into,
+    synthesize,
+)
+
+
+def bg_job(name):
+    return WarehouseJob.bg(make_bg(name), name)
+
+
+def lc_job(name, load):
+    return WarehouseJob.lc(make_lc(name), load, name)
+
+
+class TestConstruction:
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ValueError, match="unknown routing"):
+            WarehouseFederation(2, 4, routing="hash-ring")
+
+    def test_rejects_mismatched_stores(self):
+        with pytest.raises(ValueError, match="stores"):
+            WarehouseFederation(2, 4, stores=[None])
+
+    def test_home_shard_is_stable_and_in_range(self):
+        for name in ("a", "mc-123", "xapian-9"):
+            home = home_shard(name, 3)
+            assert 0 <= home < 3
+            assert home == home_shard(name, 3)  # process-independent
+
+
+class TestRouting:
+    def test_round_robin_rotates_the_first_shard(self, mini_server):
+        with WarehouseFederation(
+            2, 4, routing="round-robin", spec=mini_server
+        ) as fed:
+            for i in range(4):
+                fed.submit(bg_job(f"j{i}"), at=float(i + 1))
+            fed.run_until(10.0)
+            shards = [fed.placements()[f"j{i}"][0] for i in range(4)]
+        assert shards == [0, 1, 0, 1]
+
+    def test_least_loaded_balances(self, mini_server):
+        with WarehouseFederation(
+            2, 4, routing="least-loaded", spec=mini_server
+        ) as fed:
+            for i in range(4):
+                fed.submit(bg_job(f"j{i}"), at=float(i + 1))
+            fed.run_until(10.0)
+            by_shard = [fed.shards[i].jobs_running for i in range(2)]
+        assert by_shard == [2, 2]
+
+    def test_rejection_retry_spills_past_a_full_home(self, mini_server):
+        # Two jobs with the same home shard; one node of one job each.
+        names = ["spill-a", "spill-b"]
+        assert home_shard(names[0], 2) == home_shard(names[1], 2)
+        home = home_shard(names[0], 2)
+        with WarehouseFederation(
+            2, 1, routing="rejection-retry", spec=mini_server,
+            max_jobs_per_node=1,
+        ) as fed:
+            fed.submit(bg_job(names[0]), at=1.0)
+            fed.submit(bg_job(names[1]), at=2.0)
+            fed.run_until(3.0)
+            placements = fed.placements()
+        assert placements[names[0]][0] == home
+        assert placements[names[1]][0] == 1 - home  # spilled
+
+    def test_full_federation_rejects(self, mini_server):
+        with WarehouseFederation(
+            2, 1, spec=mini_server, max_jobs_per_node=1
+        ) as fed:
+            for i in range(3):
+                fed.submit(bg_job(f"j{i}"), at=float(i + 1))
+            status = fed.run_to_completion()
+        assert status["jobs_running"] == 2
+        assert status["rejections"] == 1
+        rejects = [e for e in fed.routed if e.kind == "reject"]
+        assert rejects[0].detail == "capacity"
+
+    def test_duplicate_name_rejected_across_shards(self, mini_server):
+        with WarehouseFederation(2, 4, spec=mini_server) as fed:
+            fed.submit(bg_job("dup"), at=1.0)
+            fed.submit(bg_job("dup"), at=2.0)
+            fed.run_until(3.0)
+            rejects = [e for e in fed.routed if e.kind == "reject"]
+        assert len(rejects) == 1
+        assert rejects[0].detail == "duplicate-name"
+
+    def test_departure_routed_to_owning_shard(self, mini_server):
+        with WarehouseFederation(2, 4, spec=mini_server) as fed:
+            fed.submit(bg_job("a"), at=1.0)
+            fed.depart("a", at=2.0)
+            fed.depart("ghost", at=3.0)
+            fed.run_until(4.0)
+            assert fed.placements() == {}
+            departs = [e for e in fed.routed if e.kind == "depart"]
+        assert departs[0].job == "a" and departs[0].shard >= 0
+        assert departs[1].job == "ghost" and departs[1].detail == "unknown"
+
+
+def _run_scenario(events, concurrent, routing="least-loaded"):
+    with WarehouseFederation(
+        2,
+        25,
+        routing=routing,
+        concurrent_probes=concurrent,
+        recheck_period_s=60.0,
+        seed=9,
+    ) as fed:
+        load_into(fed, events)
+        status = fed.run_to_completion()
+        return (
+            fed.routed,
+            [shard.timeline for shard in fed.shards],
+            fed.placements(),
+            status["jobs_running"],
+            status["migrations"],
+        )
+
+
+class TestConcurrencyEquivalence:
+    @pytest.mark.parametrize("routing", ROUTING_POLICIES)
+    def test_serial_and_concurrent_probing_choose_identically(self, routing):
+        events = synthesize(ScenarioConfig(n_jobs=40, duration_s=400.0, seed=9))
+        serial = _run_scenario(events, concurrent=False, routing=routing)
+        threaded = _run_scenario(events, concurrent=True, routing=routing)
+        assert serial == threaded
+
+
+class TestWarehouseScale:
+    def test_500_nodes_2_shards_200_plus_events_deterministic(self):
+        """The issue's acceptance scenario: big, busy, bit-identical."""
+        config = ScenarioConfig(n_jobs=150, duration_s=900.0, seed=7)
+        events = synthesize(config)
+        assert len(events) >= 200
+        runs = []
+        for _ in range(2):
+            with WarehouseFederation(
+                2, 250, recheck_period_s=120.0, seed=7,
+                concurrent_probes=True,
+            ) as fed:
+                load_into(fed, events)
+                status = fed.run_to_completion()
+                runs.append(
+                    (
+                        fed.routed,
+                        [shard.timeline for shard in fed.shards],
+                        fed.placements(),
+                        status,
+                    )
+                )
+        assert runs[0] == runs[1]
+        routed, shard_timelines, placements, status = runs[0]
+        assert status["nodes_total"] == 500
+        assert status["arrivals"] == 150
+        assert status["routed"] + status["rejections"] >= 150
+        assert status["departures"] > 50
+        assert len(routed) >= 200
+        # Both shards actually took work.
+        assert all(len(timeline) > 0 for timeline in shard_timelines)
+
+
+class TestStatusAggregation:
+    def test_sums_across_shards(self, mini_server):
+        with WarehouseFederation(3, 2, spec=mini_server) as fed:
+            for i in range(5):
+                fed.submit(bg_job(f"j{i}"), at=float(i + 1))
+            status = fed.run_to_completion()
+        assert status["n_shards"] == 3
+        assert status["nodes_total"] == 6
+        assert status["jobs_running"] == 5
+        assert len(status["shards"]) == 3
+        assert sum(s["jobs_running"] for s in status["shards"]) == 5
+        assert status["nodes_used"] == sum(
+            s["nodes_used"] for s in status["shards"]
+        )
+
+    def test_close_is_idempotent(self, mini_server):
+        fed = WarehouseFederation(
+            2, 2, spec=mini_server, concurrent_probes=True
+        )
+        fed.close()
+        fed.close()
