@@ -90,6 +90,26 @@ class LintConfig:
         flow_resources: Lifecycle registry as ``"Creator=rel1,rel2"``
             entries mapping resource constructors to their release
             methods.
+        pure_registry: Dotted names of functions declared pure for
+            RPL901 (``module.fn`` / ``module.Class.method``); their
+            whole callgraph closure must be free of mutations of
+            pre-existing state.  ``@declared_pure``-decorated functions
+            join this set automatically.
+        pure_probe_entrypoints: Dotted names of probe entry points for
+            RPL902 — the speculative, side-effect-free phase of the
+            probe-then-commit split.  Nothing reachable from them may
+            call a commit mutator or draw fresh RNG/clock state.
+        pure_commit_mutators: Dotted names of the commit-tagged
+            mutators RPL902 bans from probe paths (cluster placement,
+            the service commit/migrate surface, observation-store
+            writes).
+        pure_snapshot_methods: Method names (bare or ``Class.method``)
+            treated as snapshot accessors by RPL903; they must return
+            defensive copies, never live internal containers.
+        pure_allow_calls: Callees (bare name, ``Class.method``, or full
+            dotted path) whose effects are sanctioned-benign on pure
+            paths — the lock-guarded telemetry surface, whose lazy
+            metric registration is idempotent and replay-invariant.
     """
 
     select: Tuple[str, ...] = ()
@@ -196,6 +216,55 @@ class LintConfig:
         "open=close",
         "socket.socket=close",
     )
+    pure_registry: Tuple[str, ...] = (
+        "repro.core.acquisition.ExpectedImprovement.__call__",
+        "repro.core.acquisition.ProbabilityOfImprovement.__call__",
+        "repro.core.acquisition.UpperConfidenceBound.__call__",
+        "repro.server.obstore.node_fingerprint",
+        "repro.warehouse.admission.CLITEProbe.check",
+        "repro.warehouse.admission.QuickProbe.check",
+        "repro.warehouse.service.WarehouseService.probe_admit",
+    )
+    pure_probe_entrypoints: Tuple[str, ...] = (
+        "repro.core.acquisition.ExpectedImprovement.__call__",
+        "repro.core.acquisition.ProbabilityOfImprovement.__call__",
+        "repro.core.acquisition.UpperConfidenceBound.__call__",
+        "repro.server.obstore.node_fingerprint",
+        "repro.warehouse.admission.CLITEProbe.check",
+        "repro.warehouse.admission.QuickProbe.check",
+        "repro.warehouse.service.WarehouseService.probe_admit",
+    )
+    pure_commit_mutators: Tuple[str, ...] = (
+        "repro.cluster.state.Cluster.place",
+        "repro.cluster.state.Cluster.remove",
+        "repro.server.obstore.ObservationStore.put",
+        "repro.warehouse.service.WarehouseService._migrate",
+        "repro.warehouse.service.WarehouseService._rebalance_node",
+        "repro.warehouse.service.WarehouseService.commit_admit",
+        "repro.warehouse.service.WarehouseService.reject",
+    )
+    pure_snapshot_methods: Tuple[str, ...] = (
+        "migrations",
+        "placements",
+        "routed",
+        "snapshot",
+        "stats",
+        "status",
+        "timeline",
+    )
+    pure_allow_calls: Tuple[str, ...] = (
+        # The lock-guarded telemetry surface: lazy metric registration
+        # mutates MetricRegistry._metrics, but registration is
+        # idempotent and metric values never feed back into decisions,
+        # so probe paths observing telemetry stay replay-invariant.
+        "Counter.add",
+        "Gauge.set",
+        "Histogram.observe",
+        "MetricRegistry.counter",
+        "MetricRegistry.gauge",
+        "MetricRegistry.histogram",
+        "Tracer.span",
+    )
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -245,6 +314,18 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
                 if sub_name not in known or not isinstance(sub_value, list):
                     raise ValueError(
                         f"unknown [tool.repro-lint.flow] option {sub_key!r} "
+                        f"in {pyproject}"
+                    )
+                overrides[sub_name] = tuple(str(v) for v in sub_value)
+            continue
+        if name == "pure" and isinstance(value, dict):
+            # [tool.repro-lint.pure]: sub-keys map onto pure_* fields
+            # and hold lists, mirroring the flow table.
+            for sub_key, sub_value in value.items():
+                sub_name = f"pure_{sub_key.replace('-', '_')}"
+                if sub_name not in known or not isinstance(sub_value, list):
+                    raise ValueError(
+                        f"unknown [tool.repro-lint.pure] option {sub_key!r} "
                         f"in {pyproject}"
                     )
                 overrides[sub_name] = tuple(str(v) for v in sub_value)

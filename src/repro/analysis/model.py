@@ -19,6 +19,7 @@ TELEMETRY = "telemetry"
 DATAFLOW = "dataflow"
 UNITS = "units"
 FLOW = "flow"
+PURE = "pure"
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
         rules_determinism,
         rules_flow,
         rules_numerics,
+        rules_pure,
         rules_telemetry,
         rules_threadsafety,
         rules_units,

@@ -1,0 +1,267 @@
+"""``repro-pure`` console entry point: the purity & phase report.
+
+Renders the artifacts behind the PURE (RPL9xx) lint family for human
+inspection::
+
+    repro-pure src/repro              # registry, phase, snapshot report
+    repro-pure src/repro --check      # exit 1 on any violation
+    repro-pure src/repro --format json
+
+The report walks the five analyses in order: the declared-pure
+registry (each root with its effect-closure verdict), the probe/commit
+phase separation (entry points, reachable-function counts, and every
+violation with its call path), snapshot alias escapes, set-iteration
+order hazards inside the probe closure, and registry health.  Exit
+status: 0 ok, 1 any violation with ``--check``, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .config import load_config
+from .engine import LintEngine
+from .pure import PureAnalysis, pure_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pure",
+        description=(
+            "Purity & phase-effect report: declared-pure effect "
+            "closures, probe/commit separation, snapshot escapes, "
+            "set-iteration order hazards (the PURE lint family's "
+            "working state, rendered)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Files or directories to analyse (default: src/repro).",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="File or directory to skip during discovery (repeatable).",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="Report format.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="Exit 1 on any purity or phase violation.",
+    )
+    return parser
+
+
+def _fn_label(analysis: PureAnalysis, key: str) -> str:
+    fn = analysis.project.functions.get(key)
+    if fn is None:
+        return key
+    return f"{fn.module}:{fn.qualname}"
+
+
+def render_text(analysis: PureAnalysis) -> str:
+    lines: List[str] = []
+    lines.append("declared-pure registry")
+    lines.append("======================")
+    if not analysis.pure_roots:
+        lines.append("  (no pure roots registered or marked)")
+    mutations_by_root: Dict[str, int] = {}
+    for hit in analysis.mutations:
+        mutations_by_root[hit.root_key] = (
+            mutations_by_root.get(hit.root_key, 0) + 1
+        )
+    for key in sorted(analysis.pure_roots):
+        label = _fn_label(analysis, key)
+        count = mutations_by_root.get(key, 0)
+        verdict = "ok" if count == 0 else f"{count} mutation(s)"
+        lines.append(f"  {label}  [{analysis.pure_roots[key]}]  {verdict}")
+    if analysis.mutations:
+        lines.append("")
+        lines.append("mutations of pre-existing state")
+        for hit in analysis.mutations:
+            effect = hit.effect
+            via = " via " + " -> ".join(effect.chain) if effect.chain else ""
+            lines.append(
+                f"  {effect.site.module}:{effect.site.line}  "
+                f"root={effect.root}  {effect.op} on {effect.target}"
+                f"{via}  (pure root {_fn_label(analysis, hit.root_key)})"
+            )
+    lines.append("")
+    lines.append("probe/commit phase separation")
+    lines.append("=============================")
+    if not analysis.probe_entries:
+        lines.append("  (no probe entry points registered)")
+    for key in sorted(analysis.probe_entries):
+        lines.append(f"  probe entry {_fn_label(analysis, key)}")
+    lines.append(f"  reachable functions: {len(analysis.reachable)}")
+    lines.append(f"  commit mutators registered: {len(analysis.mutator_keys)}")
+    if analysis.phase:
+        lines.append("")
+        lines.append(f"PHASE VIOLATIONS: {len(analysis.phase)}")
+        for hit in analysis.phase:
+            path = " -> ".join(
+                _fn_label(analysis, step).split(":")[-1] for step in hit.path
+            )
+            lines.append(
+                f"  {hit.site.module}:{hit.site.line}  [{hit.kind}] "
+                f"{hit.what}  (path {path})"
+            )
+    else:
+        lines.append("  violations: none")
+    lines.append("")
+    lines.append("snapshot boundaries")
+    lines.append("===================")
+    if not analysis.snapshots:
+        lines.append("  (no live containers escape snapshot accessors)")
+    for snap in analysis.snapshots:
+        lines.append(
+            f"  {snap.site.module}:{snap.site.line}  {snap.method} "
+            f"returns live {snap.ctype} {snap.container}"
+        )
+    lines.append("")
+    lines.append("iteration-order hazards")
+    lines.append("=======================")
+    if not analysis.order:
+        lines.append("  (no set iteration feeds an ordered decision)")
+    for hazard in analysis.order:
+        lines.append(
+            f"  {hazard.site.module}:{hazard.site.line}  "
+            f"{hazard.iterable!r} -> {hazard.consumer}  "
+            f"(reachable from {_fn_label(analysis, hazard.entry)})"
+        )
+    lines.append("")
+    lines.append("registry health")
+    lines.append("===============")
+    if not analysis.registry:
+        lines.append("  (every registry entry resolves)")
+    for stale in analysis.registry:
+        lines.append(
+            f"  stale [{stale.table}] entry {stale.entry!r} "
+            f"(module {stale.module})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(analysis: PureAnalysis) -> str:
+    payload = {
+        "pure_roots": {
+            _fn_label(analysis, key): origin
+            for key, origin in sorted(analysis.pure_roots.items())
+        },
+        "mutations": [
+            {
+                "root": _fn_label(analysis, hit.root_key),
+                "module": hit.effect.site.module,
+                "line": hit.effect.site.line,
+                "effect_root": hit.effect.root,
+                "op": hit.effect.op,
+                "target": hit.effect.target,
+                "via": list(hit.effect.chain),
+            }
+            for hit in analysis.mutations
+        ],
+        "probe_entries": sorted(
+            _fn_label(analysis, key) for key in analysis.probe_entries
+        ),
+        "reachable_count": len(analysis.reachable),
+        "phase_violations": [
+            {
+                "module": hit.site.module,
+                "line": hit.site.line,
+                "kind": hit.kind,
+                "what": hit.what,
+                "entry": _fn_label(analysis, hit.entry),
+                "path": [
+                    _fn_label(analysis, step) for step in hit.path
+                ],
+            }
+            for hit in analysis.phase
+        ],
+        "snapshot_escapes": [
+            {
+                "module": snap.site.module,
+                "line": snap.site.line,
+                "method": snap.method,
+                "container": snap.container,
+                "type": snap.ctype,
+            }
+            for snap in analysis.snapshots
+        ],
+        "order_hazards": [
+            {
+                "module": hazard.site.module,
+                "line": hazard.site.line,
+                "iterable": hazard.iterable,
+                "consumer": hazard.consumer,
+                "entry": _fn_label(analysis, hazard.entry),
+            }
+            for hazard in analysis.order
+        ],
+        "stale_registry": [
+            {"entry": stale.entry, "table": stale.table}
+            for stale in analysis.registry
+        ],
+        "violations": analysis.violation_count,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            parser.print_usage(sys.stderr)
+            print(
+                "repro-pure: no paths given and ./src/repro not found",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default)]
+
+    try:
+        config = load_config(Path(paths[0]))
+    except ValueError as error:
+        print(f"repro-pure: {error}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(config)
+    try:
+        project = engine.build_project(paths, exclude=args.exclude)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"repro-pure: {error}", file=sys.stderr)
+        return 2
+
+    analysis = pure_analysis(project, config)
+    if args.format == "json":
+        print(render_json(analysis))
+    else:
+        print(render_text(analysis))
+    if args.check and analysis.violation_count:
+        print(
+            f"repro-pure: {analysis.violation_count} purity/phase "
+            f"violation(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -13,7 +13,9 @@ as simulated time advances::
 ``GET /metrics``, ``POST /submit``, ``POST /depart``) while the
 scenario runs, pacing simulated time against short wall-clock sleeps so
 a human (or a test) can poll and inject jobs mid-run.  ``--check`` runs
-a small scenario twice and verifies the two timelines are identical —
+a small scenario twice and verifies the two timelines are identical,
+then replays a clite-probe scenario serially and with concurrent
+probes over a shared observation store and diffs those timelines too —
 the determinism smoke test CI runs on every push.
 """
 
@@ -22,10 +24,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..core import CLITEConfig
 from ..server.obstore import ObservationStore
 from ..telemetry import Telemetry
 from ..telemetry.clock import SimulatedClock
@@ -197,7 +201,15 @@ def _timeline_of(target: Target) -> tuple:
 
 
 def _run_check(args: argparse.Namespace) -> int:
-    """Run a small fixed scenario twice; identical timelines or bust."""
+    """Two determinism smoke tests; identical timelines or bust.
+
+    First a small fixed scenario is played twice through the same
+    federation shape (same-seed bit-identity).  Then the same shape is
+    played once with serial probes and once with ``concurrent_probes``
+    under ``--probe clite`` with one observation store shared by both
+    shards — the exact configuration whose determinism rests on the
+    probe/commit split that ``repro-pure --check`` proves statically.
+    """
     config = ScenarioConfig(
         n_jobs=30, duration_s=300.0, lc_fraction=0.5, seed=args.seed
     )
@@ -226,11 +238,58 @@ def _run_check(args: argparse.Namespace) -> int:
     if outcomes[0] != outcomes[1]:
         print("warehouse check: FAILED (same-seed runs diverged)")
         return 1
+
+    clite_config = ScenarioConfig(
+        n_jobs=12, duration_s=200.0, lc_fraction=0.5, seed=args.seed
+    )
+    clite_events = synthesize(clite_config)
+    probe_engine = CLITEConfig(
+        max_iterations=10,
+        post_qos_iterations=3,
+        refine_budget=5,
+        confirm_top=1,
+        n_restarts=3,
+    )
+    clite_outcomes = []
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        for concurrent in (False, True):
+            store_path = f"{tmp}/obs-{'conc' if concurrent else 'serial'}.jsonl"
+            with ObservationStore(store_path) as store, WarehouseFederation(
+                n_shards=2,
+                nodes_per_shard=20,
+                routing=args.routing,
+                concurrent_probes=concurrent,
+                probe="clite",
+                engine_config=probe_engine,
+                seed=args.seed,
+                recheck_period_s=30.0,
+                clock=SimulatedClock(),
+                stores=[store, store],
+            ) as federation:
+                load_into(federation, clite_events)
+                status = federation.run_to_completion()
+                clite_outcomes.append(
+                    (
+                        _timeline_of(federation),
+                        federation.placements(),
+                        status["jobs_running"],
+                    )
+                )
+    if clite_outcomes[0] != clite_outcomes[1]:
+        print(
+            "warehouse check: FAILED "
+            "(serial vs concurrent clite probes diverged)"
+        )
+        return 1
+
     timeline, placements, running = outcomes[0]
+    clite_timeline = clite_outcomes[0][0]
     print(
         f"warehouse check: OK ({len(events)} events, "
         f"{len(timeline)} decisions, {running} jobs still running, "
-        f"{len(placements)} placements, bit-identical across runs)"
+        f"{len(placements)} placements, bit-identical across runs; "
+        f"clite serial == concurrent over a shared store, "
+        f"{len(clite_timeline)} decisions)"
     )
     return 0
 

@@ -471,6 +471,10 @@ class WarehouseService:
         ).add()
         return self.probe.check(node_state, self.seed)
 
+    def _probe_order(self, index: int) -> Tuple[int, int]:
+        """Probe densest occupied nodes first, index as the tiebreak."""
+        return (-self.cluster.nodes[index].n_jobs, index)
+
     def _find_target(
         self,
         job: WarehouseJob,
@@ -481,17 +485,20 @@ class WarehouseService:
         fresh machine as fallback (through ``can_host``); else None."""
         request = _request_at(job, t)
         verified: List[int] = []
-        occupied = sorted(
-            (
-                n
-                for n in self.cluster.nodes
-                if 0 < n.n_jobs < self.max_jobs_per_node
-                and n.index not in exclude
-                and n.can_host(request)
-            ),
-            key=lambda n: (-n.n_jobs, n.index),
-        )
-        for node_state in occupied[: self.max_probe_nodes]:
+        # Candidate selection is set-shaped (membership is all that
+        # matters); the sorted() below is what makes the probe order a
+        # pure function of cluster state rather than hash order, and
+        # repro-pure's RPL904 pins it in place.
+        candidates = {
+            node_state.index
+            for node_state in self.cluster.nodes
+            if 0 < node_state.n_jobs < self.max_jobs_per_node
+            and node_state.index not in exclude
+            and node_state.can_host(request)
+        }
+        occupied = sorted(candidates, key=self._probe_order)
+        for index in occupied[: self.max_probe_nodes]:
+            node_state = self.cluster.nodes[index]
             tentative = self._refreshed(node_state, t).with_request(request)
             if not tentative.lc_requests:
                 # BG-only nodes carry no QoS target: admit structurally.

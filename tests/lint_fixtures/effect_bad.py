@@ -1,0 +1,95 @@
+"""Fixture: every PURE (RPL9xx) rule fires.
+
+``Prober.scan`` is registered as both a declared-pure root and a probe
+entry point (mirroring ``probe_admit``), then breaks every promise:
+it writes through ``self``, calls the commit mutator, draws fresh RNG
+and wall-clock state, and iterates raw sets into ordered decisions.
+``tally`` hides a parameter mutation two calls deep behind ``relay`` —
+the interprocedural case argument binding must still charge to the
+root.  ``Board``'s snapshot accessors leak live containers, directly
+and through a local alias.  The test config also registers a
+``vanished`` function that does not exist (RPL905).
+"""
+
+import time
+from typing import Dict, List, Set
+
+import numpy as np
+
+TOTALS: Dict[str, int] = {}
+
+
+def declared_pure(fn):
+    return fn
+
+
+class Committer:
+    """The commit half of the phase split."""
+
+    def __init__(self) -> None:
+        self.placed: List[str] = []
+
+    def commit(self, name: str) -> None:
+        self.placed.append(name)
+
+
+class Prober:
+    """A probe that is anything but side-effect-free."""
+
+    def __init__(self) -> None:
+        self.committer = Committer()
+        self.seen = 0
+        self.limits: Dict[str, int] = {"a": 1}
+
+    def scan(self, names: Set[str]) -> List[str]:
+        self.seen += 1  # RPL901: augmented assign on self
+        self.limits["a"] = 2  # RPL901: subscript write on self state
+        self.committer.commit("job")  # RPL902: commit on the probe path
+        rng = np.random.default_rng()  # RPL902: fresh RNG state
+        started = time.time()  # RPL902: wall-clock read
+        ordered = list(names)  # RPL904: set into an ordered list
+        for name in names:  # RPL904: set iterated by a for loop
+            ordered.append(name)
+        return ordered + [str(rng.random()), str(started)]
+
+
+def deep_mutate(report: List[str]) -> None:
+    report.append("x")
+
+
+def relay(report: List[str]) -> None:
+    deep_mutate(report)
+
+
+def tally(items: List[str]) -> List[str]:
+    """Registered pure; the mutation of ``items`` hides two calls deep."""
+    log: List[str] = []
+    relay(log)  # fine: the callee mutates a fresh local
+    relay(items)  # RPL901: parameter mutated via relay -> deep_mutate
+    return log
+
+
+def bump_totals(name: str) -> int:
+    """Registered pure; writes a module-level global."""
+    TOTALS[name] = TOTALS.get(name, 0) + 1  # RPL901: global state
+    return TOTALS[name]
+
+
+@declared_pure
+def marked_mutator(acc: List[int]) -> None:
+    acc.append(1)  # RPL901: @declared_pure function mutates its param
+
+
+class Board:
+    """Snapshot accessors that leak live containers."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, int] = {}
+        self._log = []
+
+    def status(self) -> Dict[str, int]:
+        return self._jobs  # RPL903: live dict escapes
+
+    def timeline(self):
+        log = self._log
+        return log  # RPL903: live list escapes through a local alias

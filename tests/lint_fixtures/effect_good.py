@@ -1,0 +1,93 @@
+"""Fixture: the same shapes as ``effect_bad.py``, done right.
+
+Every function below is registered pure / as a probe entry by the test
+config, so silence here is what the PURE family's precision rests on:
+mutation of *fresh* locals (even through callees), defensive-copy
+snapshots, sorted set iteration, RNG threaded in as a parameter, and
+order-blind set consumption must all stay unflagged.
+"""
+
+from typing import Dict, List, Set
+
+TOTALS: Dict[str, int] = {"a": 1}
+
+
+def declared_pure(fn):
+    return fn
+
+
+class Committer:
+    def __init__(self) -> None:
+        self.placed: List[str] = []
+
+    def commit(self, name: str) -> None:
+        self.placed.append(name)
+
+
+class Prober:
+    """Side-effect-free probe: fresh state only, deterministic order."""
+
+    def __init__(self) -> None:
+        self.committer = Committer()
+        self.limit = 4
+
+    def scan(self, names: Set[str], rng) -> List[str]:
+        ordered = sorted(names)  # sorted(): order-blind consumption
+        best = max(names) if names else ""  # aggregate: order-blind
+        picked = []  # fresh local: mutating it is fine
+        for name in ordered[: self.limit]:
+            if name in names:  # membership test: order-blind
+                picked.append(name)
+        jitter = float(rng.random())  # RNG is threaded in, not drawn
+        return picked + [best, str(jitter)]
+
+    def apply(self, names: Set[str], rng) -> None:
+        """The commit half lives outside the probe entry's closure."""
+        for name in self.scan(names, rng):
+            self.committer.commit(name)
+
+
+def fill(report: List[str]) -> None:
+    report.append("x")
+
+
+def relay(report: List[str]) -> None:
+    fill(report)
+
+
+def tally(items: List[str]) -> List[str]:
+    """Registered pure: every callee mutation lands on a fresh local."""
+    log: List[str] = []
+    relay(log)
+    for item in items:
+        log.append(item)
+    return log
+
+
+def read_totals(name: str) -> int:
+    """Registered pure: reads the module global, never writes it."""
+    return TOTALS.get(name, 0)
+
+
+@declared_pure
+def marked_builder(xs: List[int]) -> List[int]:
+    acc: List[int] = []
+    acc.extend(xs)
+    return acc
+
+
+class Board:
+    """Snapshot accessors returning defensive copies."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, int] = {}
+        self._log = []
+
+    def status(self) -> Dict[str, int]:
+        return dict(self._jobs)
+
+    def timeline(self):
+        return tuple(self._log)
+
+    def placements(self) -> Dict[str, int]:
+        return {name: index for name, index in self._jobs.items()}

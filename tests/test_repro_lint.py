@@ -572,6 +572,7 @@ class TestRegistryAndRepoTree:
         "RPL601", "RPL602", "RPL603",
         "RPL701", "RPL702", "RPL703", "RPL704", "RPL705",
         "RPL801", "RPL802", "RPL803", "RPL804", "RPL805",
+        "RPL901", "RPL902", "RPL903", "RPL904", "RPL905",
     }
 
     def test_registry_is_complete(self):

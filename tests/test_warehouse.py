@@ -312,6 +312,33 @@ class TestDeterminism:
         assert status["admitted"] > 0 and status["departures"] > 0
         assert len(timeline) >= 60
 
+    def test_mutating_returned_snapshots_cannot_perturb_replay(self):
+        """RPL903's contract, end to end: ``status()``/``placements()``
+        hand out defensive copies, so trashing them mid-run leaves the
+        rest of the replay bit-identical to an undisturbed one."""
+        config = ScenarioConfig(n_jobs=60, duration_s=500.0, seed=5)
+
+        def run(disturb):
+            service = WarehouseService(40, recheck_period_s=60.0, seed=5)
+            load_into(service, synthesize(config))
+            if disturb:
+                service.run_until(250.0)
+                status = service.status()
+                placements = service.placements()
+                status.clear()
+                status["jobs_running"] = -1
+                placements.clear()
+                placements["ghost"] = 99
+            final = service.run_to_completion()
+            return (
+                service.timeline,
+                service.placements(),
+                service.migrations,
+                final,
+            )
+
+        assert run(disturb=False) == run(disturb=True)
+
 
 class TestIncrementalVerification:
     """Only displaced nodes are re-verified, observed via real counters."""

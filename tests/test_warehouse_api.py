@@ -76,6 +76,20 @@ class TestServiceGateway:
         gateway.publish({"jobs_running": 3})
         assert json.loads(gateway.status_bytes()) == {"jobs_running": 3}
 
+    def test_published_snapshot_is_immune_to_later_mutation(self):
+        """publish() encodes under the lock; the caller keeping (and
+        trashing) the dict must not change what /status serves."""
+        gateway = ServiceGateway()
+        status = {"jobs_running": 3, "nodes": [0, 1]}
+        gateway.publish(status)
+        status["jobs_running"] = -1
+        status["nodes"].append(99)
+        status.clear()
+        assert json.loads(gateway.status_bytes()) == {
+            "jobs_running": 3,
+            "nodes": [0, 1],
+        }
+
 
 @pytest.fixture
 def api_server():
