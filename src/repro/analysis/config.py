@@ -110,6 +110,25 @@ class LintConfig:
             dotted path) whose effects are sanctioned-benign on pure
             paths — the lock-guarded telemetry surface, whose lazy
             metric registration is idempotent and replay-invariant.
+        cost_budgets: Declared complexity budgets for RPL1001 as
+            ``"module.Class.method=expr"`` entries; ``expr`` is a
+            ``*``-product of ``const``/``small``/``n_nodes``/
+            ``n_jobs``/``n_shards`` factors and caps the N-degree of
+            the function's closed symbolic cost.
+        cost_hot_entrypoints: Dotted names of the per-event hot entry
+            points (engine round loop, warehouse event handlers,
+            gateway publish); everything reachable from them is RPL1003
+            scope, and each must carry a ``cost_budgets`` entry
+            (RPL1005).  The ``hot_path`` module set extends this scope.
+        cost_collections: ``Owner.attr=n_var`` size facts seeding the
+            bound inference: iterating/materializing these collections
+            charges the named N variable (``Cluster.nodes=n_nodes``).
+        cost_bounded: ``Owner.attr=reason`` allowlist of containers
+            that are small by construction (documented reason), so
+            scanning them never charges an N variable.
+        cost_small_names: Local/parameter names always classed small
+            (``verified``, ``displaced``, ``changed``, ``dirty``) —
+            the incremental-work vocabulary.
     """
 
     select: Tuple[str, ...] = ()
@@ -237,6 +256,7 @@ class LintConfig:
     pure_commit_mutators: Tuple[str, ...] = (
         "repro.cluster.state.Cluster.place",
         "repro.cluster.state.Cluster.remove",
+        "repro.cluster.state.Cluster.remove_from",
         "repro.server.obstore.ObservationStore.put",
         "repro.warehouse.service.WarehouseService._migrate",
         "repro.warehouse.service.WarehouseService._rebalance_node",
@@ -264,6 +284,62 @@ class LintConfig:
         "MetricRegistry.gauge",
         "MetricRegistry.histogram",
         "Tracer.span",
+    )
+    cost_budgets: Tuple[str, ...] = (
+        "repro.core.engine.CLITEEngine.optimize=small",
+        "repro.warehouse.api.ServiceGateway.publish=small",
+        "repro.warehouse.federation.WarehouseFederation._handle=n_shards",
+        "repro.warehouse.federation.WarehouseFederation._route_arrival"
+        "=n_shards",
+        "repro.warehouse.federation.WarehouseFederation._route_departure"
+        "=n_shards",
+        "repro.warehouse.federation.WarehouseFederation.status"
+        "=n_shards*n_jobs",
+        "repro.warehouse.service.WarehouseService._find_target=small",
+        "repro.warehouse.service.WarehouseService._migrate=small",
+        "repro.warehouse.service.WarehouseService._on_arrival=small",
+        "repro.warehouse.service.WarehouseService._on_departure=small",
+        "repro.warehouse.service.WarehouseService._on_recheck=small",
+        "repro.warehouse.service.WarehouseService._rebalance_node=small",
+        "repro.warehouse.service.WarehouseService.commit_admit=small",
+        "repro.warehouse.service.WarehouseService.handle_event=small",
+        "repro.warehouse.service.WarehouseService.probe_admit=small",
+        "repro.warehouse.service.WarehouseService.status=n_jobs",
+    )
+    cost_hot_entrypoints: Tuple[str, ...] = (
+        "repro.core.engine.CLITEEngine.optimize",
+        "repro.warehouse.api.ServiceGateway.publish",
+        "repro.warehouse.federation.WarehouseFederation._handle",
+        "repro.warehouse.service.WarehouseService.handle_event",
+        "repro.warehouse.service.WarehouseService.probe_admit",
+    )
+    cost_collections: Tuple[str, ...] = (
+        "Cluster.nodes=n_nodes",
+        "Cluster.placements=n_jobs",
+        "Cluster.used_nodes=n_nodes",
+        "WarehouseFederation.shards=n_shards",
+        "WarehouseService._jobs=n_jobs",
+        "WarehouseService._last_verified=n_nodes",
+    )
+    cost_bounded: Tuple[str, ...] = (
+        # Per-node job lists are capped by max_jobs_per_node.
+        "ClusterNode.job_names=per-node, capped by max_jobs_per_node",
+        "ClusterNode.requests=per-node, capped by max_jobs_per_node",
+        # The probe walk exits after max_probe_nodes passing candidates.
+        "WarehouseService._by_density=probe loop exits after "
+        "max_probe_nodes candidates",
+        # Drained every recheck tick; holds only nodes touched since.
+        "WarehouseService._recheck_dirty=drained every tick, holds only "
+        "nodes touched since the last recheck",
+        # Load-shifted subset of the incremental-recheck contract.
+        "WarehouseService._volatile_nodes=load-shifted subset of the "
+        "incremental recheck contract",
+    )
+    cost_small_names: Tuple[str, ...] = (
+        "changed",
+        "dirty",
+        "displaced",
+        "verified",
     )
 
     def rule_enabled(self, rule_id: str) -> bool:
@@ -329,6 +405,26 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
                         f"in {pyproject}"
                     )
                 overrides[sub_name] = tuple(str(v) for v in sub_value)
+            continue
+        if name == "cost" and isinstance(value, dict):
+            # [tool.repro-lint.cost]: sub-keys map onto cost_* fields.
+            # Registry-shaped sub-tables (budgets, collections, bounded)
+            # read best as TOML tables and flatten to sorted "k=v"
+            # entries like the units table; list-shaped ones
+            # (hot-entrypoints, small-names) stay lists.
+            for sub_key, sub_value in value.items():
+                sub_name = f"cost_{sub_key.replace('-', '_')}"
+                if sub_name in known and isinstance(sub_value, list):
+                    overrides[sub_name] = tuple(str(v) for v in sub_value)
+                elif sub_name in known and isinstance(sub_value, dict):
+                    overrides[sub_name] = tuple(
+                        sorted(f"{k}={v}" for k, v in sub_value.items())
+                    )
+                else:
+                    raise ValueError(
+                        f"unknown [tool.repro-lint.cost] option {sub_key!r} "
+                        f"in {pyproject}"
+                    )
             continue
         if name not in known:
             raise ValueError(

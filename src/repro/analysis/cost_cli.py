@@ -1,0 +1,287 @@
+"""``repro-cost`` console entry point: the per-entry-point cost table.
+
+Renders the artifacts behind the COST (RPL10xx) lint family for human
+inspection::
+
+    repro-cost src/repro              # budget table, hot scope, hits
+    repro-cost src/repro --check      # exit 1 on any violation
+    repro-cost src/repro --format json
+
+The report walks the five analyses in order: the budget registry (each
+registered function with its declared budget, closed symbolic cost, and
+verdict), budget violations with their dominant charge and call chain,
+same-family quadratic products, hot-path N-sized allocations, repeated
+pure recomputations, and registry health.  Exit status: 0 ok, 1 any
+violation with ``--check``, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import load_config
+from .cost import CostAnalysis, cost_analysis, render_terms
+from .engine import LintEngine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cost",
+        description=(
+            "Static per-event complexity report: closed symbolic costs "
+            "vs declared budgets, quadratic blowups, hot-path N-sized "
+            "allocations, repeated pure recomputation (the COST lint "
+            "family's working state, rendered)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Files or directories to analyse (default: src/repro).",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="File or directory to skip during discovery (repeatable).",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="Report format.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="Exit 1 on any cost-budget violation.",
+    )
+    return parser
+
+
+def _fn_label(analysis: CostAnalysis, key: str) -> str:
+    fn = analysis.project.functions.get(key)
+    if fn is None:
+        return key
+    return f"{fn.module}:{fn.qualname}"
+
+
+def render_text(analysis: CostAnalysis) -> str:
+    lines: List[str] = []
+    lines.append("cost budgets")
+    lines.append("============")
+    if not analysis.budgets:
+        lines.append("  (no budgets registered)")
+    over = {hit.budget.key for hit in analysis.budget_hits}
+    for key in sorted(
+        analysis.budgets, key=lambda k: analysis.budgets[k].entry
+    ):
+        budget = analysis.budgets[key]
+        closed = render_terms(analysis._cost_closure(key))
+        verdict = "OVER" if key in over else "ok"
+        hot = "  [hot]" if key in analysis.hot_entries else ""
+        lines.append(
+            f"  {budget.entry}  budget O({budget.expr})  "
+            f"closed {closed}  {verdict}{hot}"
+        )
+    if analysis.budget_hits:
+        lines.append("")
+        lines.append(f"BUDGET VIOLATIONS: {len(analysis.budget_hits)}")
+        for hit in analysis.budget_hits:
+            term = hit.term
+            via = " via " + " -> ".join(term.chain) if term.chain else ""
+            lines.append(
+                f"  {term.site.module}:{term.site.line}  "
+                f"{hit.budget.entry}  {render_terms([term])} > "
+                f"O({hit.budget.expr})  [{term.kind}] {term.what}{via}"
+            )
+    lines.append("")
+    lines.append("hot scope")
+    lines.append("=========")
+    if not analysis.hot_entries:
+        lines.append("  (no hot entry points registered)")
+    for key in sorted(
+        analysis.hot_entries, key=lambda k: analysis.hot_entries[k]
+    ):
+        lines.append(f"  hot entry {analysis.hot_entries[key]}")
+    lines.append(f"  reachable functions: {len(analysis.hot_scope)}")
+    lines.append("")
+    lines.append("quadratic products")
+    lines.append("==================")
+    if not analysis.quads:
+        lines.append("  (no same-family quadratic is provable)")
+    for quad in analysis.quads:
+        lines.append(
+            f"  {quad.site.module}:{quad.site.line}  "
+            f"{_fn_label(analysis, quad.fn_key)}  "
+            f"{'*'.join(quad.vars)}  {quad.what}"
+        )
+    lines.append("")
+    lines.append("hot-path allocations")
+    lines.append("====================")
+    if not analysis.allocs:
+        lines.append("  (no N-sized allocation on a hot path)")
+    for alloc in analysis.allocs:
+        origin = (
+            f"from {_fn_label(analysis, alloc.entry)}"
+            if alloc.entry
+            else "hot-path module"
+        )
+        lines.append(
+            f"  {alloc.site.module}:{alloc.site.line}  "
+            f"{_fn_label(analysis, alloc.fn_key)}  [{alloc.bound}] "
+            f"{alloc.what}  ({origin})"
+        )
+    lines.append("")
+    lines.append("repeated recomputation")
+    lines.append("======================")
+    if not analysis.repeats:
+        lines.append("  (no pure costly call repeats with fixed args)")
+    for repeat in analysis.repeats:
+        lines.append(
+            f"  {repeat.site.module}:{repeat.site.line}  "
+            f"{_fn_label(analysis, repeat.fn_key)}  computes "
+            f"{_fn_label(analysis, repeat.callee)}({repeat.args}) "
+            f"{repeat.count}x"
+        )
+    lines.append("")
+    lines.append("registry health")
+    lines.append("===============")
+    if not analysis.registry:
+        lines.append("  (every registry entry resolves and is budgeted)")
+    for stale in analysis.registry:
+        lines.append(
+            f"  [{stale.table}] entry {stale.entry!r}: {stale.detail}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(analysis: CostAnalysis) -> str:
+    over = {hit.budget.key for hit in analysis.budget_hits}
+    payload = {
+        "budgets": [
+            {
+                "entry": budget.entry,
+                "budget": budget.expr,
+                "closed": render_terms(analysis._cost_closure(key)),
+                "ok": key not in over,
+                "hot": key in analysis.hot_entries,
+            }
+            for key, budget in sorted(
+                analysis.budgets.items(), key=lambda kv: kv[1].entry
+            )
+        ],
+        "budget_violations": [
+            {
+                "entry": hit.budget.entry,
+                "budget": hit.budget.expr,
+                "cost": render_terms([hit.term]),
+                "module": hit.term.site.module,
+                "line": hit.term.site.line,
+                "kind": hit.term.kind,
+                "what": hit.term.what,
+                "via": list(hit.term.chain),
+            }
+            for hit in analysis.budget_hits
+        ],
+        "hot_entries": sorted(analysis.hot_entries.values()),
+        "hot_reachable_count": len(analysis.hot_scope),
+        "quadratics": [
+            {
+                "module": quad.site.module,
+                "line": quad.site.line,
+                "function": _fn_label(analysis, quad.fn_key),
+                "vars": list(quad.vars),
+                "what": quad.what,
+            }
+            for quad in analysis.quads
+        ],
+        "hot_allocations": [
+            {
+                "module": alloc.site.module,
+                "line": alloc.site.line,
+                "function": _fn_label(analysis, alloc.fn_key),
+                "bound": alloc.bound,
+                "what": alloc.what,
+                "entry": (
+                    _fn_label(analysis, alloc.entry) if alloc.entry else None
+                ),
+            }
+            for alloc in analysis.allocs
+        ],
+        "repeats": [
+            {
+                "module": repeat.site.module,
+                "line": repeat.site.line,
+                "function": _fn_label(analysis, repeat.fn_key),
+                "callee": _fn_label(analysis, repeat.callee),
+                "args": repeat.args,
+                "count": repeat.count,
+            }
+            for repeat in analysis.repeats
+        ],
+        "stale_registry": [
+            {
+                "entry": stale.entry,
+                "table": stale.table,
+                "detail": stale.detail,
+            }
+            for stale in analysis.registry
+        ],
+        "violations": analysis.violation_count,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            parser.print_usage(sys.stderr)
+            print(
+                "repro-cost: no paths given and ./src/repro not found",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default)]
+
+    try:
+        config = load_config(Path(paths[0]))
+    except ValueError as error:
+        print(f"repro-cost: {error}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(config)
+    try:
+        project = engine.build_project(paths, exclude=args.exclude)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"repro-cost: {error}", file=sys.stderr)
+        return 2
+
+    analysis = cost_analysis(project, config)
+    if args.format == "json":
+        print(render_json(analysis))
+    else:
+        print(render_text(analysis))
+    if args.check and analysis.violation_count:
+        print(
+            f"repro-cost: {analysis.violation_count} cost "
+            f"violation(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -20,6 +20,7 @@ DATAFLOW = "dataflow"
 UNITS = "units"
 FLOW = "flow"
 PURE = "pure"
+COST = "cost"
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
     # registry is complete no matter which module was imported first.
     from . import (  # noqa: F401
         rules_contracts,
+        rules_cost,
         rules_dataflow,
         rules_determinism,
         rules_flow,

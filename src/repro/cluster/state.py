@@ -199,6 +199,26 @@ class Cluster:
                 return node.index
         raise KeyError(f"no request named {name!r} in the cluster")
 
+    def remove_from(self, node_index: int, name: str) -> None:
+        """Remove the named request from a *known* host node.
+
+        The O(n_nodes) :meth:`remove` scan exists for callers that only
+        know the job name; callers that track placements (the warehouse
+        service keeps job -> node in ``_jobs``) must use this O(1)
+        variant instead so departures stay fleet-size-independent.
+        """
+        if not 0 <= node_index < len(self.nodes):
+            raise IndexError(
+                f"node_index {node_index} out of range for a "
+                f"{len(self.nodes)}-node cluster"
+            )
+        node = self.nodes[node_index]
+        if name not in node.job_names():
+            raise KeyError(
+                f"no request named {name!r} on node {node_index}"
+            )
+        self.nodes[node_index] = node.without_request(name)
+
     def used_nodes(self) -> List[ClusterNode]:
         return [n for n in self.nodes if n.n_jobs > 0]
 

@@ -148,10 +148,11 @@ class ConfigurationSpace:
     def __init__(self, spec: ServerSpec, n_jobs: int) -> None:
         if n_jobs < 1:
             raise ValueError("need at least one job")
-        if n_jobs > spec.max_jobs():
+        max_jobs = spec.max_jobs()
+        if n_jobs > max_jobs:
             raise ValueError(
                 f"{n_jobs} jobs cannot each get one unit of every resource "
-                f"on this server (max {spec.max_jobs()})"
+                f"on this server (max {max_jobs})"
             )
         self.spec = spec
         self.n_jobs = n_jobs

@@ -159,6 +159,19 @@ def _apply_gateway(target: Target, gateway: ServiceGateway) -> None:
             target.depart(command.name, at=at)
 
 
+def _cursor_of(target: Target) -> Union[int, tuple]:
+    """Current timeline position, for incremental :func:`_decisions_since`."""
+    if isinstance(target, WarehouseFederation):
+        return target.timeline_cursor()
+    return target.timeline_len
+
+
+def _decisions_since(target: Target, cursor: Union[int, tuple]) -> tuple:
+    """Decisions recorded since ``cursor`` — each entry copied once per
+    run instead of re-flattening the whole federation every slice."""
+    return target.timeline_since(cursor)  # type: ignore[arg-type]
+
+
 def _run_scenario(
     args: argparse.Namespace,
     target: Target,
@@ -169,6 +182,7 @@ def _run_scenario(
     horizon = args.duration
     step = max(args.report_every, 1e-6)
     t = 0.0
+    cursor = _cursor_of(target)
     while t < horizon:
         t = min(t + step, horizon)
         if gateway is not None:
@@ -178,7 +192,10 @@ def _run_scenario(
         if gateway is not None:
             gateway.publish(status)
             time.sleep(args.serve_tick)
-        rows.append(_report_row(status))
+        row = _report_row(status)
+        row["decisions"] = len(_decisions_since(target, cursor))
+        cursor = _cursor_of(target)
+        rows.append(row)
         if not args.as_json:
             _print_row(rows[-1])
     # Stragglers scheduled past the horizon (late departures).
@@ -194,8 +211,8 @@ def _run_scenario(
 
 def _timeline_of(target: Target) -> tuple:
     if isinstance(target, WarehouseFederation):
-        return target.routed + tuple(
-            entry for shard in target.shards for entry in shard.timeline
+        return _decisions_since(
+            target, (0,) * (len(target.shards) + 1)
         )
     return target.timeline
 

@@ -61,6 +61,17 @@ class WarehouseJob:
     def is_lc(self) -> bool:
         return isinstance(self.workload, LCWorkload)
 
+    @property
+    def has_static_load(self) -> bool:
+        """True when this job's load can never change between ticks.
+
+        BG jobs carry no schedule and constant schedules never move, so
+        neither can invalidate a verified placement on its own; only
+        jobs with genuinely phased schedules make their host node
+        *volatile* (rechecked every tick even without churn).
+        """
+        return self.schedule is None or self.schedule.is_constant
+
     @staticmethod
     def lc(
         workload: LCWorkload,

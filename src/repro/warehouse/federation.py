@@ -37,7 +37,8 @@ import zlib
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from ..core.engine import CLITEConfig
 from ..core.units import Seconds
@@ -48,7 +49,7 @@ from ..telemetry.clock import SimulatedClock
 from ..server.obstore import ObservationStore
 from .events import Arrival, Departure, EventLoop, Payload, Recheck, WarehouseJob
 from .migration import MigrationModel
-from .service import TIMELINE_LIMIT, WarehouseService
+from .service import TIMELINE_LIMIT, TimelineEntry, WarehouseService
 
 ROUTING_POLICIES = ("round-robin", "least-loaded", "rejection-retry")
 
@@ -151,6 +152,7 @@ class WarehouseFederation:
             else None
         )
         self._routed: Deque[RoutedEntry] = deque(maxlen=TIMELINE_LIMIT)
+        self._routed_dropped = 0
         self._rr_next = 0
         self._counts: Dict[str, int] = {
             "arrivals": 0,
@@ -190,6 +192,40 @@ class WarehouseFederation:
     def routed(self) -> Tuple[RoutedEntry, ...]:
         """Every root routing decision so far, oldest first."""
         return tuple(self._routed)
+
+    @property
+    def routed_len(self) -> int:
+        """Total routing decisions ever recorded, including aged-out."""
+        return self._routed_dropped + len(self._routed)
+
+    def routed_since(self, cursor: int) -> Tuple[RoutedEntry, ...]:
+        """Routing decisions at or after absolute position ``cursor``."""
+        start = max(cursor - self._routed_dropped, 0)
+        return tuple(islice(self._routed, start, None))
+
+    def timeline_cursor(self) -> Tuple[int, ...]:
+        """Opaque position marker for :meth:`timeline_since`."""
+        return (self.routed_len,) + tuple(
+            shard.timeline_len for shard in self.shards
+        )
+
+    def timeline_since(
+        self, cursor: Tuple[int, ...]
+    ) -> Tuple[Union[RoutedEntry, TimelineEntry], ...]:
+        """Every decision recorded since ``cursor`` (root + shards).
+
+        The shape matches the historical "routed log then each shard's
+        timeline, in shard order" flattening, so a zero cursor yields
+        exactly what callers used to rebuild from scratch — and a
+        rolling report advancing its cursor per slice copies each entry
+        once instead of re-flattening the whole federation every slice.
+        """
+        entries: List[Union[RoutedEntry, TimelineEntry]] = list(
+            self.routed_since(cursor[0])
+        )
+        for shard, position in zip(self.shards, cursor[1:]):
+            entries.extend(shard.timeline_since(position))
+        return tuple(entries)
 
     def submit(self, job: WarehouseJob, at: Seconds) -> int:
         return self.loop.schedule(at, Arrival(job))
@@ -288,6 +324,11 @@ class WarehouseFederation:
     # ------------------------------------------------------------------
     # Event handling
     # ------------------------------------------------------------------
+    def _route_record(self, entry: RoutedEntry) -> None:
+        if len(self._routed) == TIMELINE_LIMIT:
+            self._routed_dropped += 1
+        self._routed.append(entry)
+
     def _handle(self, t: Seconds, seq: int, payload: Payload) -> None:
         with self.telemetry.tracer.span(
             "warehouse.route", kind=type(payload).__name__.lower(), seq=seq
@@ -306,7 +347,7 @@ class WarehouseFederation:
         order = self._preference(job)
         if any(shard.has_job(job.name) for shard in self.shards):
             self._counts["rejections"] += 1
-            self._routed.append(
+            self._route_record(
                 RoutedEntry(
                     time_s=t, seq=seq, kind="reject", job=job.name,
                     detail="duplicate-name",
@@ -327,7 +368,7 @@ class WarehouseFederation:
             self.telemetry.metrics.counter(
                 "warehouse.route.admitted", shard=str(shard_index)
             ).add()
-            self._routed.append(
+            self._route_record(
                 RoutedEntry(
                     time_s=t, seq=seq, kind="route", job=job.name,
                     shard=shard_index, node=target,
@@ -336,7 +377,7 @@ class WarehouseFederation:
             return
         self._counts["rejections"] += 1
         self.telemetry.metrics.counter("warehouse.route.rejections").add()
-        self._routed.append(
+        self._route_record(
             RoutedEntry(
                 time_s=t, seq=seq, kind="reject", job=job.name,
                 detail="capacity",
@@ -348,14 +389,14 @@ class WarehouseFederation:
         for shard_index, shard in enumerate(self.shards):
             if shard.has_job(name):
                 shard.handle_event(t, seq, Departure(name))
-                self._routed.append(
+                self._route_record(
                     RoutedEntry(
                         time_s=t, seq=seq, kind="depart", job=name,
                         shard=shard_index,
                     )
                 )
                 return
-        self._routed.append(
+        self._route_record(
             RoutedEntry(
                 time_s=t, seq=seq, kind="depart", job=name, detail="unknown"
             )

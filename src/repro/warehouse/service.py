@@ -28,14 +28,17 @@ same-seed runs produce bit-identical timelines.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import (
     Deque,
     Dict,
     FrozenSet,
     List,
     Optional,
+    Set,
     Tuple,
 )
 
@@ -192,7 +195,21 @@ class WarehouseService:
         self._jobs: Dict[str, _Placed] = {}
         #: node index -> the LC load vector in force at last verification.
         self._last_verified: Dict[int, Tuple[float, ...]] = {}
+        #: Density index: bucket ``d`` holds the sorted indices of nodes
+        #: running ``d`` jobs (bucket 0 is the free pool).  Maintained by
+        #: :meth:`_sync_index` at every commit point so admission walks
+        #: buckets densest-first instead of scanning the fleet.
+        self._by_density: List[List[int]] = [list(range(n_nodes))] + [
+            [] for _ in range(max_jobs_per_node)
+        ]
+        self._density_of: List[int] = [0] * n_nodes
+        #: Sorted indices of nodes hosting a phased-load LC job — the
+        #: only nodes whose QoS can drift without a placement change.
+        self._volatile_nodes: List[int] = []
+        #: Nodes whose job set changed since their last recheck visit.
+        self._recheck_dirty: Set[int] = set()
         self._timeline: Deque[TimelineEntry] = deque(maxlen=TIMELINE_LIMIT)
+        self._timeline_dropped = 0
         self._migrations: Deque[MigrationRecord] = deque(maxlen=TIMELINE_LIMIT)
         self._counts: Dict[str, int] = {
             "arrivals": 0,
@@ -210,7 +227,14 @@ class WarehouseService:
         register_shared(
             self,
             name=f"WarehouseService@{id(self):x}",
-            container_attrs=("_jobs", "_last_verified"),
+            container_attrs=(
+                "_jobs",
+                "_last_verified",
+                "_by_density",
+                "_density_of",
+                "_volatile_nodes",
+                "_recheck_dirty",
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -225,6 +249,22 @@ class WarehouseService:
     def timeline(self) -> Tuple[TimelineEntry, ...]:
         """Every decision taken so far, oldest first."""
         return tuple(self._timeline)
+
+    @property
+    def timeline_len(self) -> int:
+        """Total decisions ever recorded, including aged-out entries."""
+        return self._timeline_dropped + len(self._timeline)
+
+    def timeline_since(self, cursor: int) -> Tuple[TimelineEntry, ...]:
+        """Entries recorded at or after absolute position ``cursor``.
+
+        ``cursor`` is a prior :attr:`timeline_len` reading; entries that
+        aged out of the bounded deque before ``cursor`` are gone either
+        way, so rolling reports can poll incrementally instead of
+        re-copying the whole timeline every slice.
+        """
+        start = max(cursor - self._timeline_dropped, 0)
+        return tuple(islice(self._timeline, start, None))
 
     @property
     def migrations(self) -> Tuple[MigrationRecord, ...]:
@@ -256,9 +296,14 @@ class WarehouseService:
             self.run_until(last)
         return self.status()
 
+    @property
+    def nodes_used(self) -> int:
+        """Occupied-node count, O(1) off the density index."""
+        return len(self.cluster.nodes) - len(self._by_density[0])
+
     def status(self) -> Dict[str, object]:
         """A JSON-able operational snapshot (the ``GET /status`` body)."""
-        used = self.cluster.machines_used()
+        used = self.nodes_used
         total = len(self.cluster.nodes)
         checks = self._counts["qos_checks"]
         failures = self._counts["qos_check_failures"]
@@ -312,7 +357,8 @@ class WarehouseService:
         """Apply a successful probe: the job now runs on ``target``."""
         self.cluster.nodes[target] = tentative
         self._jobs[job.name] = _Placed(job=job, node=target, admitted_s=t)
-        self._mark_verified(target, t)
+        self._mark_verified(target, self._loads_of(target, t))
+        self._sync_index(target)
         self._counts["admitted"] += 1
         self._record(
             TimelineEntry(
@@ -383,13 +429,17 @@ class WarehouseService:
                 )
             )
             return
-        index = self.cluster.remove(name)
+        index = placed.node
+        self.cluster.remove_from(index, name)
+        self._sync_index(index)
         verified: Tuple[int, ...] = ()
         survivors = self.cluster.nodes[index]
         if survivors.n_jobs:
             # Only the displaced node is re-verified: the departure
             # changed nobody else's co-runners.
-            verified = self._rebalance_node(index, t, seq)
+            verified = self._rebalance_node(
+                index, t, seq, self._loads_of(index, t)
+            )
         else:
             self._last_verified.pop(index, None)
         self._record(
@@ -409,17 +459,31 @@ class WarehouseService:
         checked = 0
         failed = 0
         verified_all: List[int] = []
-        for node_state in self.cluster.used_nodes():
+        # Visit only nodes whose QoS could have moved since their last
+        # verification: hosts of phased-load LC jobs (volatile) plus
+        # nodes whose job set changed since the last tick (dirty) —
+        # never the whole fleet.  Ascending index order matches the old
+        # full scan, so same-seed timelines stay bit-identical.
+        candidates = sorted(set(self._volatile_nodes) | self._recheck_dirty)
+        for index in candidates:
+            node_state = self.cluster.nodes[index]
             if not node_state.lc_requests:
+                self._recheck_dirty.discard(index)
                 continue
-            loads = self._loads_of(node_state.index, t)
-            if self._last_verified.get(node_state.index) == loads:
+            loads = self._loads_of(index, t)
+            if self._last_verified.get(index) == loads:
+                self._recheck_dirty.discard(index)
                 continue  # load unchanged since last verification: skip
             checked += 1
-            verified = self._rebalance_node(node_state.index, t, seq)
+            verified = self._rebalance_node(index, t, seq, loads)
             verified_all.extend(verified)
-            if self._last_verified.get(node_state.index) != loads:
+            if self._last_verified.get(index) != loads:
                 failed += 1
+                # A persistent violation stays on the recheck list: the
+                # old full scan revisited it every tick, and so do we.
+                self._recheck_dirty.add(index)
+            else:
+                self._recheck_dirty.discard(index)
         if failed:
             self._counts["recheck_failures"] += failed
         self._record(
@@ -458,8 +522,54 @@ class WarehouseService:
                 loads.append(load if load is not None else 0.0)
         return tuple(loads)
 
-    def _mark_verified(self, index: int, t: Seconds) -> None:
-        self._last_verified[index] = self._loads_of(index, t)
+    def _mark_verified(self, index: int, loads: Tuple[float, ...]) -> None:
+        """Record the load vector a node was just verified at.
+
+        Callers compute ``loads`` exactly once per decision and thread
+        it here (the repo's own RPL1004 finding was this method silently
+        recomputing ``_loads_of`` a second time per re-check).
+        """
+        self._last_verified[index] = loads
+
+    def _sync_index(self, index: int) -> None:
+        """Re-home one node in the incremental indices after a commit.
+
+        Called wherever a node's job set changes (admission, departure,
+        eviction, migration landing).  The two sorted lists are
+        bisect-maintained — O(bucket) per commit, see EXPERIMENTS.md —
+        which is what lets admission and recheck never scan the fleet.
+        """
+        node_state = self.cluster.nodes[index]
+        density = min(node_state.n_jobs, self.max_jobs_per_node)
+        previous = self._density_of[index]
+        if density != previous:
+            bucket = self._by_density[previous]
+            bucket.pop(bisect_left(bucket, index))
+            insort(self._by_density[density], index)
+            self._density_of[index] = density
+        volatile = False
+        for request in node_state.requests:
+            placed = self._jobs.get(request.request_name)
+            if (
+                placed is not None
+                and placed.job.is_lc
+                and not placed.job.has_static_load
+            ):
+                volatile = True
+                break
+        pos = bisect_left(self._volatile_nodes, index)
+        present = (
+            pos < len(self._volatile_nodes)
+            and self._volatile_nodes[pos] == index
+        )
+        if volatile and not present:
+            self._volatile_nodes.insert(pos, index)
+        elif not volatile and present:
+            self._volatile_nodes.pop(pos)
+        if node_state.lc_requests:
+            self._recheck_dirty.add(index)
+        else:
+            self._recheck_dirty.discard(index)
 
     def _check_node(
         self, node_state: ClusterNode, verified_out: List[int]
@@ -471,10 +581,6 @@ class WarehouseService:
         ).add()
         return self.probe.check(node_state, self.seed)
 
-    def _probe_order(self, index: int) -> Tuple[int, int]:
-        """Probe densest occupied nodes first, index as the tiebreak."""
-        return (-self.cluster.nodes[index].n_jobs, index)
-
     def _find_target(
         self,
         job: WarehouseJob,
@@ -482,51 +588,67 @@ class WarehouseService:
         exclude: FrozenSet[int] = frozenset(),
     ) -> Tuple[Optional[int], Optional[ClusterNode], Tuple[int, ...]]:
         """CLITE-style target search: densest occupied first, probed;
-        fresh machine as fallback (through ``can_host``); else None."""
+        fresh machine as fallback (through ``can_host``); else None.
+
+        The density index makes the walk fleet-size-independent: buckets
+        descend from the densest co-location level, each kept sorted by
+        node index, so the visit order equals the historical full-fleet
+        ``sorted(candidates, key=(-n_jobs, index))`` without ever
+        materializing an n_nodes-sized candidate set — repro-cost
+        budgets this at O(small), and the deterministic bucket order
+        keeps the probe sequence a pure function of cluster state (the
+        property repro-pure's RPL904 used to pin via sorted()).
+        """
         request = _request_at(job, t)
         verified: List[int] = []
-        # Candidate selection is set-shaped (membership is all that
-        # matters); the sorted() below is what makes the probe order a
-        # pure function of cluster state rather than hash order, and
-        # repro-pure's RPL904 pins it in place.
-        candidates = {
-            node_state.index
-            for node_state in self.cluster.nodes
-            if 0 < node_state.n_jobs < self.max_jobs_per_node
-            and node_state.index not in exclude
-            and node_state.can_host(request)
-        }
-        occupied = sorted(candidates, key=self._probe_order)
-        for index in occupied[: self.max_probe_nodes]:
+        probed = 0
+        for density in range(self.max_jobs_per_node - 1, 0, -1):
+            for index in self._by_density[density]:
+                if index in exclude:
+                    continue
+                node_state = self.cluster.nodes[index]
+                if not node_state.can_host(request):
+                    continue
+                probed += 1
+                tentative = self._refreshed(node_state, t).with_request(
+                    request
+                )
+                if not tentative.lc_requests:
+                    # BG-only nodes carry no QoS target: admit
+                    # structurally.
+                    return index, tentative, tuple(verified)
+                if self._check_node(tentative, verified):
+                    return index, tentative, tuple(verified)
+                if probed >= self.max_probe_nodes:
+                    break
+            else:
+                continue
+            break
+        for index in self._by_density[0]:
+            if index in exclude:
+                continue
             node_state = self.cluster.nodes[index]
-            tentative = self._refreshed(node_state, t).with_request(request)
-            if not tentative.lc_requests:
-                # BG-only nodes carry no QoS target: admit structurally.
-                return node_state.index, tentative, tuple(verified)
-            if self._check_node(tentative, verified):
-                return node_state.index, tentative, tuple(verified)
-        for node_state in self.cluster.nodes:
-            if (
-                node_state.n_jobs == 0
-                and node_state.index not in exclude
-                and node_state.can_host(request)
-            ):
+            if node_state.can_host(request):
                 return (
-                    node_state.index,
+                    index,
                     node_state.with_request(request),
                     tuple(verified),
                 )
         return None, None, tuple(verified)
 
     def _rebalance_node(
-        self, index: int, t: Seconds, seq: int
+        self, index: int, t: Seconds, seq: int, loads: Tuple[float, ...]
     ) -> Tuple[int, ...]:
         """Re-verify one displaced/load-shifted node; migrate if it fails.
 
-        Returns the node indices verified along the way.  On success the
-        node's load vector is recorded in ``_last_verified``; on
-        persistent failure (the last survivor still violates QoS) a
-        ``violation`` timeline entry is recorded instead.
+        ``loads`` is the node's current effective LC load vector — every
+        caller has it in hand already, so it is threaded through instead
+        of recomputed here; evictions change the job set, so the loop
+        refreshes it after each one.  Returns the node indices verified
+        along the way.  On success the node's load vector is recorded in
+        ``_last_verified``; on persistent failure (the last survivor
+        still violates QoS) a ``violation`` timeline entry is recorded
+        instead.
         """
         verified: List[int] = []
         node_state = self._refreshed(self.cluster.nodes[index], t)
@@ -550,16 +672,20 @@ class WarehouseService:
             node_state = node_state.without_request(victim.request_name)
             self.cluster.nodes[index] = node_state
             self._migrate(victim.request_name, index, t, seq, verified)
+            loads = self._loads_of(index, t)
             ok = (
                 self._check_node(node_state, verified)
                 if node_state.lc_requests
                 else True
             )
+        if evictions:
+            self._sync_index(index)
         if ok:
-            self._mark_verified(index, t)
+            self._mark_verified(index, loads)
         else:
             self._counts["qos_check_failures"] += 1
             self._last_verified.pop(index, None)
+            self._recheck_dirty.add(index)
             self.telemetry.metrics.counter("warehouse.qos.violations").add()
             self._record(
                 TimelineEntry(
@@ -615,7 +741,8 @@ class WarehouseService:
             return
         self.cluster.nodes[target] = tentative
         placed.node = target
-        self._mark_verified(target, t)
+        self._mark_verified(target, self._loads_of(target, t))
+        self._sync_index(target)
         cost = self.migration.cost_s
         self.migration_cost_s += cost
         self._counts["migrations"] += 1
@@ -640,4 +767,6 @@ class WarehouseService:
         )
 
     def _record(self, entry: TimelineEntry) -> None:
+        if len(self._timeline) == TIMELINE_LIMIT:
+            self._timeline_dropped += 1
         self._timeline.append(entry)

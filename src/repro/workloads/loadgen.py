@@ -184,6 +184,17 @@ class LoadSchedule:
     def constant(load_fraction: Fraction) -> "LoadSchedule":
         return LoadSchedule((LoadPhase(0.0, load_fraction),))
 
+    @property
+    def is_constant(self) -> bool:
+        """True when every phase carries the same load fraction.
+
+        A constant schedule can never invalidate a verified placement on
+        its own — the warehouse recheck loop uses this to keep such
+        nodes out of the per-tick volatile set.
+        """
+        first = self.phases[0].load_fraction
+        return all(p.load_fraction == first for p in self.phases)
+
     @staticmethod
     def steps(steps: Sequence[Tuple[Seconds, Fraction]]) -> "LoadSchedule":
         """Build a schedule from (start_seconds, load_fraction) pairs."""

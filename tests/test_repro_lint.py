@@ -573,6 +573,7 @@ class TestRegistryAndRepoTree:
         "RPL701", "RPL702", "RPL703", "RPL704", "RPL705",
         "RPL801", "RPL802", "RPL803", "RPL804", "RPL805",
         "RPL901", "RPL902", "RPL903", "RPL904", "RPL905",
+        "RPL1001", "RPL1002", "RPL1003", "RPL1004", "RPL1005",
     }
 
     def test_registry_is_complete(self):

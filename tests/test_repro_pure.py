@@ -516,19 +516,19 @@ class TestRepoPurity:
         target.write_text(source.replace(old, new, 1))
         return tree
 
-    def test_deleting_probe_sort_fails_the_check(self, tmp_path, capsys):
-        """Acceptance: dropping sorted() from probe_admit's candidate
-        ordering (hash-order probing) must flip repro-pure to exit 1."""
+    def test_set_shaped_probe_walk_fails_the_check(self, tmp_path, capsys):
+        """Acceptance: routing the probe walk through a set (hash-order
+        probing) must flip repro-pure to exit 1."""
         tree = self._mutated_package(
             tmp_path,
             "warehouse/service.py",
-            "sorted(candidates, key=self._probe_order)",
-            "list(candidates)",
+            "for index in self._by_density[density]:",
+            "for index in set(self._by_density[density]):",
         )
         code = pure_main([str(tree), "--check"])
         out = capsys.readouterr()
         assert code == 1
-        assert "candidates" in out.out
+        assert "_by_density" in out.out
         assert "probe_admit" in out.out
 
     def test_probe_attribute_write_fails_the_check(self, tmp_path, capsys):
